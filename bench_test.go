@@ -1,0 +1,617 @@
+// Benchmark harness: one bench per table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls
+// out. Custom metrics (bytes moved, peak resident vertices, makespan)
+// are attached with b.ReportMetric so `go test -bench . -benchmem`
+// regenerates the quantities the paper reports alongside ns/op.
+package insitu
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"insitu/internal/bp"
+	"insitu/internal/core"
+	"insitu/internal/dart"
+	"insitu/internal/dataspaces"
+	"insitu/internal/grid"
+	"insitu/internal/mergetree"
+	"insitu/internal/netsim"
+	"insitu/internal/render"
+	"insitu/internal/sim"
+	"insitu/internal/staging"
+	"insitu/internal/stats"
+	"insitu/internal/workload"
+)
+
+// benchField builds a steady-state flame field for the analysis-stage
+// benches (one sim spin-up shared across benches via sync.Once).
+var (
+	benchOnce    sync.Once
+	benchGlobal  grid.Box
+	benchDecomp  *grid.Decomp
+	benchGhosted []*grid.Field // per-rank ghosted temperature blocks
+	benchField   *grid.Field   // stitched global temperature
+	benchOH      *grid.Field   // stitched global OH
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchGlobal = grid.NewBox(48, 32, 16)
+		cfg := sim.DefaultConfig(benchGlobal, 4, 2, 2)
+		cfg.KernelRate = 1.0
+		s, err := sim.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchDecomp = s.Decomp()
+		benchGhosted = make([]*grid.Field, s.Ranks())
+		benchField = grid.NewField("T", benchGlobal)
+		benchOH = grid.NewField("Y_OH", benchGlobal)
+		var mu sync.Mutex
+		err = sim.RunAll(s, func(rk *sim.Rank) error {
+			rk.RunSteps(15)
+			g := rk.GhostedField("T").Clone()
+			mu.Lock()
+			benchGhosted[rk.Comm().ID()] = g
+			benchField.Paste(rk.Field("T"))
+			benchOH.Paste(rk.Field("Y_OH"))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+// --- Table I ------------------------------------------------------------
+
+// BenchmarkTableI_SimStep4896 measures the per-step simulation cost of
+// the 4896-core scenario (32 scaled ranks).
+func BenchmarkTableI_SimStep4896(b *testing.B) {
+	benchTableISim(b, workload.Scenario4896())
+}
+
+// BenchmarkTableI_SimStep9440 doubles the x split; per-step time
+// should drop (the paper halves 16.85 s -> 8.42 s with real cores; on
+// one CPU the drop reflects smaller blocks only).
+func BenchmarkTableI_SimStep9440(b *testing.B) {
+	benchTableISim(b, workload.Scenario9440())
+}
+
+func benchTableISim(b *testing.B, sc workload.Scenario) {
+	cfg := sc.Sim
+	cfg.SubSteps = 1 // keep bench iterations fast
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = sim.RunAll(s, func(rk *sim.Rank) error {
+		for i := 0; i < b.N; i++ {
+			rk.Step()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(sc.RawStepBytes()), "stateBytes")
+}
+
+// BenchmarkTableI_CheckpointWrite measures the file-per-process BP
+// write of one timestep's full state.
+func BenchmarkTableI_CheckpointWrite(b *testing.B) {
+	benchSetup(b)
+	dir := b.TempDir()
+	fields := make([][]*grid.Field, benchDecomp.Ranks())
+	for r := range fields {
+		for _, name := range []string{"T", "u", "P"} {
+			f := grid.NewField(name, benchDecomp.Block(r))
+			f.Paste(benchField) // reuse temperature data for all vars
+			fields[r] = append(fields[r], f)
+		}
+	}
+	var total int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for r := range fields {
+			n, err := bp.WriteFile(filepath.Join(dir, fmt.Sprintf("r%04d.bp", r)), fields[r])
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += n
+		}
+	}
+	b.ReportMetric(float64(total), "checkpointBytes")
+}
+
+// --- Table II: per-stage costs of the five analyses ---------------------
+
+// BenchmarkTableII_StatsLearnInSitu is the in-situ learn stage over
+// one rank's block (all 14 variables are proportional; one suffices
+// for ns/point).
+func BenchmarkTableII_StatsLearnInSitu(b *testing.B) {
+	benchSetup(b)
+	block := benchField.Extract(benchDecomp.Block(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := stats.NewModel()
+		m.LearnField(block)
+	}
+}
+
+// BenchmarkTableII_StatsDeriveInTransit is the hybrid variant's serial
+// in-transit stage: aggregate all ranks' partial models and derive.
+// Its cost is microscopic — the paper reports 0.01 s vs 1.69 s learn.
+func BenchmarkTableII_StatsDeriveInTransit(b *testing.B) {
+	benchSetup(b)
+	var partials [][]byte
+	var moved int
+	for r := 0; r < benchDecomp.Ranks(); r++ {
+		m := stats.NewModel()
+		m.LearnField(benchField.Extract(benchDecomp.Block(r)))
+		p := m.Marshal()
+		moved += len(p)
+		partials = append(partials, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := stats.AggregateSerial(partials)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = g.DeriveAll()
+	}
+	b.ReportMetric(float64(moved), "movedBytes")
+}
+
+// BenchmarkTableII_TopologySubtreeInSitu is the per-rank in-situ merge
+// subtree computation (the paper's 2.72 s row).
+func BenchmarkTableII_TopologySubtreeInSitu(b *testing.B) {
+	benchSetup(b)
+	ghosted := benchGhosted[0]
+	owned := benchDecomp.Block(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mergetree.LocalSubtree(ghosted, benchGlobal, owned, 0, mergetree.KeepSharedBoundary); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_TopologyGlueInTransit is the serial in-transit
+// streaming aggregation (the paper's 119.81 s row — the stage that
+// must be decoupled from the simulation by temporal multiplexing).
+func BenchmarkTableII_TopologyGlueInTransit(b *testing.B) {
+	benchSetup(b)
+	subtrees, moved := benchSubtrees(b, mergetree.KeepSharedBoundary)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mergetree.Glue(subtrees, mergetree.GlueOptions{Evict: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(moved), "movedBytes")
+}
+
+func benchSubtrees(b *testing.B, policy mergetree.BoundaryPolicy) ([]*mergetree.Subtree, int) {
+	b.Helper()
+	var subtrees []*mergetree.Subtree
+	moved := 0
+	for r := 0; r < benchDecomp.Ranks(); r++ {
+		st, err := mergetree.LocalSubtree(benchGhosted[r], benchGlobal, benchDecomp.Block(r), r, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		moved += len(st.Marshal())
+		subtrees = append(subtrees, st)
+	}
+	return subtrees, moved
+}
+
+// BenchmarkTableII_VizInSituBlock is one rank's full-resolution block
+// render (the paper's 0.73 s row).
+func BenchmarkTableII_VizInSituBlock(b *testing.B) {
+	benchSetup(b)
+	r := benchRenderer(b, benchGlobal, 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RenderBlock(benchGhosted[0], benchDecomp.Block(0))
+	}
+}
+
+// BenchmarkTableII_VizHybridDownsample is the hybrid in-situ stage
+// (the paper's 0.08 s row: 8x down-sample only).
+func BenchmarkTableII_VizHybridDownsample(b *testing.B) {
+	benchSetup(b)
+	var moved int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moved = 0
+		for r := 0; r < benchDecomp.Ranks(); r++ {
+			_, n := render.DownsampleForTransit(benchGhosted[r], benchDecomp.Block(r), 8)
+			moved += n
+		}
+	}
+	b.ReportMetric(float64(moved), "movedBytes")
+}
+
+// BenchmarkTableII_VizHybridRenderInTransit is the serial in-transit
+// render over the block lookup table (the paper's 5.06 s row).
+func BenchmarkTableII_VizHybridRenderInTransit(b *testing.B) {
+	benchSetup(b)
+	bt := render.NewBlockTable()
+	for r := 0; r < benchDecomp.Ranks(); r++ {
+		p, _ := render.DownsampleForTransit(benchGhosted[r], benchDecomp.Block(r), 2)
+		if err := bt.AddMarshalled(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := benchRenderer(b, bt.Bounds(), 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RenderTable(bt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRenderer(b *testing.B, g grid.Box, step float64) *render.Renderer {
+	b.Helper()
+	r, err := render.NewRenderer(160, 120, render.HotMetal(0.3, 2.2),
+		[3]float64{0.45, 0.3, 1}, [3]float64{0, 1, 0}, step, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// --- Figures -------------------------------------------------------------
+
+// BenchmarkFig1_SegmentAndTrack is the per-step cost of the Fig. 1
+// tracking analysis: threshold segmentation plus overlap matching.
+func BenchmarkFig1_SegmentAndTrack(b *testing.B) {
+	benchSetup(b)
+	prev := mergetree.SegmentField(benchOH, benchGlobal, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := mergetree.SegmentField(benchOH, benchGlobal, 0.1)
+		mergetree.Track(prev, next)
+	}
+}
+
+// BenchmarkFig2_SerialReference is the post-processing baseline: a
+// full-resolution serial render of the global field.
+func BenchmarkFig2_SerialReference(b *testing.B) {
+	benchSetup(b)
+	r := benchRenderer(b, benchGlobal, 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RenderSerial(benchField)
+	}
+}
+
+// BenchmarkFig6_FullPipelineStep runs one end-to-end pipeline step
+// with all five paper analyses attached — the whole of Fig. 6 in one
+// number.
+func BenchmarkFig6_FullPipelineStep(b *testing.B) {
+	simCfg := sim.DefaultConfig(grid.NewBox(32, 24, 12), 2, 2, 2)
+	p, err := core.NewPipeline(core.Config{Sim: simCfg, DSServers: 2, Buckets: 2, Net: netsim.Gemini()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := core.NewTopologyHybrid()
+	p.Register(&core.StatsInSitu{})
+	p.Register(&core.StatsHybrid{})
+	p.Register(core.NewVizInSitu(64, 48))
+	p.Register(core.NewVizHybrid(64, 48, 8))
+	p.Register(topo)
+	b.ResetTimer()
+	rep, err := p.Run(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rep.Net.BytesMoved)/float64(b.N), "movedBytes/step")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationPullVsPush compares the paper's pull-based FCFS
+// bucket scheduling against naive round-robin push assignment under
+// heterogeneous task durations: push stalls behind slow tasks, pull
+// load-balances. The metric is makespan per task batch.
+func BenchmarkAblationPullVsPush(b *testing.B) {
+	const buckets = 4
+	const tasks = 16
+	// Each simulation step submits its analyses in a fixed order —
+	// topology (slow), then statistics, visualization, autocorrelation
+	// (fast). Blind round-robin assignment therefore lands every slow
+	// topology task on the same bucket; the pull-based free-bucket
+	// list spreads them by construction.
+	dur := func(i int) time.Duration {
+		if i%buckets == 0 {
+			return 4 * time.Millisecond
+		}
+		return 500 * time.Microsecond
+	}
+	b.Run("pull", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			queue := make(chan int, tasks)
+			for t := 0; t < tasks; t++ {
+				queue <- t
+			}
+			close(queue)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < buckets; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for t := range queue {
+						time.Sleep(dur(t))
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(time.Since(start).Microseconds()), "makespan_us")
+		}
+	})
+	b.Run("push", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			queues := make([]chan int, buckets)
+			for w := range queues {
+				queues[w] = make(chan int, tasks)
+			}
+			for t := 0; t < tasks; t++ {
+				queues[t%buckets] <- t // assigned blind to bucket load
+			}
+			for _, q := range queues {
+				close(q)
+			}
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < buckets; w++ {
+				wg.Add(1)
+				go func(q chan int) {
+					defer wg.Done()
+					for t := range q {
+						time.Sleep(dur(t))
+					}
+				}(queues[w])
+			}
+			wg.Wait()
+			b.ReportMetric(float64(time.Since(start).Microseconds()), "makespan_us")
+		}
+	})
+}
+
+// BenchmarkAblationBuckets measures temporal multiplexing: steps/sec
+// of a pipeline whose in-transit stage is slower than the simulation
+// step, as a function of the bucket count. Below the multiplexing
+// width ceil(T_intransit/T_step) the staging area is the bottleneck.
+func BenchmarkAblationBuckets(b *testing.B) {
+	for _, buckets := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
+			fabric := dart.NewFabric(netsim.New(netsim.Gemini()))
+			ds, err := dataspaces.New(fabric, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			area, err := staging.New(fabric, ds, buckets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			area.Handle("slow", func(task dataspaces.Task, data [][]byte) (any, error) {
+				time.Sleep(2 * time.Millisecond) // in-transit ~4x the step time
+				return nil, nil
+			})
+			area.Start()
+			prod := fabric.Register("sim")
+			payload := make([]byte, 1024)
+			completed := make(chan struct{}, 1<<20)
+			go func() {
+				for range area.Results() {
+					completed <- struct{}{}
+				}
+				close(completed)
+			}()
+			// Timed region: submit one task per simulated step, then
+			// wait until every in-transit task completes, measuring
+			// end-to-end throughput.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				time.Sleep(500 * time.Microsecond) // the simulation step
+				h := prod.RegisterMem(payload)
+				ds.SubmitTask("slow", i, []dataspaces.Descriptor{{Name: "slow", Version: i, Handle: h}})
+			}
+			for i := 0; i < b.N; i++ {
+				<-completed
+			}
+			b.StopTimer()
+			ds.Close()
+			area.Wait()
+		})
+	}
+}
+
+// BenchmarkAblationMsgPath reports the modeled transfer duration for
+// message sizes straddling the SMSG/FMA/BTE crossovers, as DART
+// selects mechanisms on Gemini.
+func BenchmarkAblationMsgPath(b *testing.B) {
+	net := netsim.New(netsim.Gemini())
+	for _, size := range []int{256, 4 << 10, 256 << 10, 8 << 20} {
+		buf := make([]byte, size)
+		d, path := net.Cost(size)
+		b.Run(fmt.Sprintf("%s_%dB", path, size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net.Transfer(buf)
+			}
+			b.ReportMetric(float64(d.Nanoseconds()), "modeled_ns")
+		})
+	}
+}
+
+// BenchmarkAblationDownsample sweeps the hybrid visualization's
+// down-sampling factor: payload bytes fall cubically while the
+// in-transit render stays cheap — the fidelity/movement trade of
+// Fig. 2.
+func BenchmarkAblationDownsample(b *testing.B) {
+	benchSetup(b)
+	for _, factor := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("factor=%d", factor), func(b *testing.B) {
+			var moved int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				moved = 0
+				bt := render.NewBlockTable()
+				for r := 0; r < benchDecomp.Ranks(); r++ {
+					p, n := render.DownsampleForTransit(benchGhosted[r], benchDecomp.Block(r), factor)
+					moved += n
+					if err := bt.AddMarshalled(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rr := benchRenderer(b, bt.Bounds(), 0.4/float64(factor))
+				if _, err := rr.RenderTable(bt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(moved), "movedBytes")
+		})
+	}
+}
+
+// BenchmarkAblationStreamingEviction contrasts the in-transit
+// aggregation with and without eviction: identical trees, very
+// different peak memory.
+func BenchmarkAblationStreamingEviction(b *testing.B) {
+	benchSetup(b)
+	subtrees, _ := benchSubtrees(b, mergetree.KeepSharedBoundary)
+	for _, evict := range []bool{false, true} {
+		b.Run(fmt.Sprintf("evict=%v", evict), func(b *testing.B) {
+			var peak int
+			for i := 0; i < b.N; i++ {
+				_, st, err := mergetree.Glue(subtrees, mergetree.GlueOptions{Evict: evict, SweepEvery: 512})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = st.PeakLive
+			}
+			b.ReportMetric(float64(peak), "peakResidentVerts")
+		})
+	}
+}
+
+// BenchmarkAblationBoundaryPolicy reports the intermediate-data size
+// under each boundary augmentation policy (correctness differs too:
+// only KeepSharedBoundary reproduces the exact global tree — see the
+// mergetree ablation tests).
+func BenchmarkAblationBoundaryPolicy(b *testing.B) {
+	benchSetup(b)
+	for policy, name := range map[mergetree.BoundaryPolicy]string{
+		mergetree.KeepSharedBoundary:           "sharedBoundary",
+		mergetree.KeepCornersAndBoundaryMaxima: "cornersAndBoundaryMaxima",
+		mergetree.KeepNone:                     "none",
+	} {
+		b.Run(name, func(b *testing.B) {
+			var moved int
+			for i := 0; i < b.N; i++ {
+				_, moved = benchSubtrees(b, policy)
+			}
+			b.ReportMetric(float64(moved), "movedBytes")
+		})
+	}
+}
+
+// BenchmarkAblationHierarchicalGlue compares the serial in-transit
+// aggregation with the parallel hierarchical (pairwise region merge)
+// variant at several worker counts.
+func BenchmarkAblationHierarchicalGlue(b *testing.B) {
+	benchSetup(b)
+	subtrees, _ := benchSubtrees(b, mergetree.KeepSharedBoundary)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mergetree.Glue(subtrees, mergetree.GlueOptions{Evict: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("hierarchical-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mergetree.GlueHierarchical(subtrees, benchGlobal, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStreamingInTransit compares buffered vs streaming
+// in-transit execution when transfers take real time (TimeScale
+// stretches the modeled durations): streaming hides per-input compute
+// behind the remaining transfers.
+func BenchmarkAblationStreamingInTransit(b *testing.B) {
+	const inputs = 4
+	payload := make([]byte, 1<<20)
+	run := func(b *testing.B, streamMode bool) {
+		cfg := netsim.Gemini()
+		cfg.TimeScale = 0.05  // ~3.5ms per 1MB pull
+		cfg.SharedLink = true // bucket ingress: pulls arrive staggered
+		fabric := dart.NewFabric(netsim.New(cfg))
+		ds, err := dataspaces.New(fabric, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		area, err := staging.New(fabric, ds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work := func() { time.Sleep(2 * time.Millisecond) }
+		if streamMode {
+			area.HandleStream("x", func(task dataspaces.Task, in <-chan staging.StreamInput) (any, error) {
+				for range in {
+					work()
+				}
+				return nil, nil
+			})
+		} else {
+			area.Handle("x", func(task dataspaces.Task, data [][]byte) (any, error) {
+				for range data {
+					work()
+				}
+				return nil, nil
+			})
+		}
+		area.Start()
+		prod := fabric.Register("sim")
+		results := area.Results()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var descs []dataspaces.Descriptor
+			for j := 0; j < inputs; j++ {
+				descs = append(descs, dataspaces.Descriptor{
+					Name: "x", Version: i, Rank: j, Handle: prod.RegisterMem(payload),
+				})
+			}
+			if _, err := ds.SubmitTask("x", i, descs); err != nil {
+				b.Fatal(err)
+			}
+			res := <-results
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+		b.StopTimer()
+		ds.Close()
+		area.Wait()
+	}
+	b.Run("buffered", func(b *testing.B) { run(b, false) })
+	b.Run("streaming", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,197 @@
+// Command s3dpipe runs the full hybrid in-situ/in-transit pipeline:
+// the S3D proxy simulation on a configurable decomposition, with any
+// combination of the paper's analyses attached, and prints the
+// resulting Table II style cost breakdown. It is the command-line face
+// of the framework for interactive experimentation:
+//
+//	s3dpipe -nx 64 -ny 48 -nz 16 -px 4 -py 4 -pz 2 -steps 10 \
+//	        -stats hybrid -viz hybrid -topology -buckets 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"insitu/internal/core"
+	"insitu/internal/grid"
+	"insitu/internal/netsim"
+	"insitu/internal/render"
+	"insitu/internal/sim"
+	"insitu/internal/trace"
+)
+
+func main() {
+	var (
+		nx, ny, nz = flag.Int("nx", 56, "global grid x"), flag.Int("ny", 48, "global grid y"), flag.Int("nz", 16, "global grid z")
+		px, py, pz = flag.Int("px", 4, "ranks in x"), flag.Int("py", 4, "ranks in y"), flag.Int("pz", 2, "ranks in z")
+		steps      = flag.Int("steps", 5, "simulation steps")
+		every      = flag.Int("every", 1, "analysis cadence in steps")
+		substeps   = flag.Int("substeps", 1, "explicit sub-iterations per step (S3D-like cost)")
+		buckets    = flag.Int("buckets", 4, "staging buckets (in-transit cores)")
+		servers    = flag.Int("servers", 2, "DataSpaces service shards")
+		statsMode  = flag.String("stats", "both", "descriptive statistics: off|insitu|hybrid|both")
+		vizMode    = flag.String("viz", "both", "visualization: off|insitu|hybrid|both")
+		topo       = flag.Bool("topology", true, "hybrid merge-tree topology")
+		topoStream = flag.Bool("topology-streaming", false, "use the streaming in-transit topology variant")
+		topoPar    = flag.Int("topology-workers", 0, ">1 switches to the parallel hierarchical glue")
+		feat       = flag.Bool("featurestats", false, "hybrid feature-based statistics")
+		autoc      = flag.Bool("autocorr", false, "hybrid temporal auto-correlation")
+		conting    = flag.Bool("contingency", false, "hybrid contingency statistics (T vs OH)")
+		assess     = flag.Bool("assess", false, "in-situ assess & test (outlier flags + normality test)")
+		tracking   = flag.Bool("tracking", false, "hybrid feature tracking on the OH field")
+		factor     = flag.Int("factor", 8, "hybrid visualization down-sampling factor")
+		imgOut     = flag.String("images", "", "directory to write final-step renders to")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		timeline   = flag.Bool("timeline", false, "print the execution Gantt chart (temporal multiplexing)")
+	)
+	flag.Parse()
+
+	simCfg := sim.DefaultConfig(grid.NewBox(*nx, *ny, *nz), *px, *py, *pz)
+	simCfg.SubSteps = *substeps
+	simCfg.Seed = *seed
+	cfg := core.Config{Sim: simCfg, DSServers: *servers, Buckets: *buckets, Net: netsim.Gemini()}
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *statsMode {
+	case "insitu":
+		p.Register(&core.StatsInSitu{EveryN: *every})
+	case "hybrid":
+		p.Register(&core.StatsHybrid{EveryN: *every})
+	case "both":
+		p.Register(&core.StatsInSitu{EveryN: *every})
+		p.Register(&core.StatsHybrid{EveryN: *every})
+	case "off":
+	default:
+		fail(fmt.Errorf("unknown -stats mode %q", *statsMode))
+	}
+	var vizIS *core.VizInSitu
+	var vizHy *core.VizHybrid
+	switch *vizMode {
+	case "insitu", "both":
+		vizIS = core.NewVizInSitu(320, 240)
+		vizIS.EveryN = *every
+		p.Register(vizIS)
+		if *vizMode == "insitu" {
+			break
+		}
+		fallthrough
+	case "hybrid":
+		vizHy = core.NewVizHybrid(320, 240, *factor)
+		vizHy.EveryN = *every
+		p.Register(vizHy)
+	case "off":
+	default:
+		fail(fmt.Errorf("unknown -viz mode %q", *vizMode))
+	}
+	if *topo {
+		if *topoStream {
+			t := core.NewTopologyStreaming()
+			t.EveryN = *every
+			t.SimplifyEps = 0.05
+			t.FeatureThreshold = 1.0
+			p.Register(t)
+		} else {
+			t := core.NewTopologyHybrid()
+			t.EveryN = *every
+			t.SimplifyEps = 0.05
+			t.FeatureThreshold = 1.0
+			t.Workers = *topoPar
+			p.Register(t)
+		}
+	}
+	if *feat {
+		p.Register(&core.FeatureStatsHybrid{Threshold: 1.0, EveryN: *every})
+	}
+	if *autoc {
+		p.Register(&core.AutoCorrHybrid{EveryN: *every})
+	}
+	if *conting {
+		p.Register(&core.ContingencyHybrid{EveryN: *every})
+	}
+	if *assess {
+		p.Register(&core.AssessTestInSitu{EveryN: *every})
+	}
+	if *tracking {
+		p.Register(&core.TrackingHybrid{Threshold: 0.05, EveryN: *every})
+	}
+
+	var tl *trace.Timeline
+	if *timeline {
+		tl = p.EnableTrace()
+	}
+
+	fmt.Printf("s3dpipe: grid %dx%dx%d, %d simulation ranks, %d DataSpaces shards, %d buckets, %d steps\n\n",
+		*nx, *ny, *nz, (*px)*(*py)*(*pz), *servers, *buckets, *steps)
+	rep, err := p.Run(*steps)
+	if err != nil {
+		fail(err)
+	}
+
+	if tl != nil {
+		fmt.Println(tl.Gantt(100))
+		util := tl.Utilization()
+		fmt.Print("lane utilization:")
+		for _, lane := range tl.Lanes() {
+			fmt.Printf(" %s=%.0f%%", lane, 100*util[lane])
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+
+	total, perStep, n := rep.Metrics.SimTime()
+	fmt.Printf("simulation: %d steps, %v total, %v per step\n\n", n, total.Round(1e6), perStep.Round(1e6))
+	fmt.Println(rep.Metrics.TableII())
+	fmt.Printf("network: %d transfers, %.3f MB moved, %v modeled busy\n",
+		rep.Net.Transfers, float64(rep.Net.BytesMoved)/1e6, rep.Net.ModeledBusy.Round(1e3))
+
+	if tr, ok := rep.Result("hybrid topology", lastDue(*steps, *every)).(*core.TopologyResult); ok && tr != nil {
+		fmt.Printf("topology (final step): %d tree nodes resident of %d streamed (peak %d), %d maxima",
+			len(tr.Tree.Nodes), tr.Stream.Declared, tr.Stream.PeakLive, len(tr.Tree.Maxima()))
+		if len(tr.Features) > 0 {
+			fmt.Printf(", %d features above threshold", len(tr.Features))
+		}
+		fmt.Println()
+	}
+
+	if *imgOut != "" {
+		if err := os.MkdirAll(*imgOut, 0o755); err != nil {
+			fail(err)
+		}
+		last := lastDue(*steps, *every)
+		if vizIS != nil {
+			if img, ok := rep.Result(vizIS.Name(), last).(*render.Image); ok {
+				save(img, filepath.Join(*imgOut, "insitu.png"))
+			}
+		}
+		if vizHy != nil {
+			if img, ok := rep.Result(vizHy.Name(), last).(*render.Image); ok {
+				save(img, filepath.Join(*imgOut, "hybrid.png"))
+			}
+		}
+	}
+}
+
+// lastDue returns the last step at which a cadence-every analysis ran.
+func lastDue(steps, every int) int {
+	if every < 1 {
+		every = 1
+	}
+	return steps - steps%every
+}
+
+func save(img *render.Image, path string) {
+	if err := img.SavePNG(path); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "s3dpipe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Ignition-kernel tracking: the paper's Fig. 1 scenario.
+//
+// Ignition kernels in a lifted flame live ~10 simulation steps.
+// Conventional post-processing saves every ~400th step, so these
+// events vanish between outputs. This example runs the proxy flame,
+// analyzes the OH field (the ignition marker) at every step via
+// merge-tree segmentation, and contrasts feature tracking at cadence 1
+// (every step, enabled by the hybrid framework) with cadence 40 (a
+// scaled-down stand-in for conventional I/O cadences).
+//
+//	go run ./examples/ignition-tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insitu/internal/core"
+	"insitu/internal/grid"
+	"insitu/internal/netsim"
+	"insitu/internal/sim"
+	"insitu/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig(grid.NewBox(48, 24, 12), 2, 2, 1)
+	cfg.KernelRate = 0.7 // a few events per lifetime window
+	cfg.Seed = 7
+
+	const steps = 80
+	const ohThreshold = 0.1
+
+	fmt.Printf("running %d steps of the lifted-flame proxy (kernel lifetime %d steps)...\n\n",
+		steps, cfg.KernelLifetime)
+	res, err := workload.RunFig1(cfg, steps, ohThreshold, []int{1, 5, 10, 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Format())
+
+	r1 := res.Rows[0]
+	r40 := res.Rows[len(res.Rows)-1]
+	fmt.Println("interpretation:")
+	fmt.Printf("  at cadence 1 the analysis saw %d of %d ignition events and tracked a feature\n",
+		r1.KernelsCaptured, r1.KernelsTotal)
+	fmt.Printf("  across %d consecutive outputs via voxel overlap;\n", r1.LongestChain)
+	fmt.Printf("  at cadence 40 only %d of %d events were observed at all, and consecutive\n",
+		r40.KernelsCaptured, r40.KernelsTotal)
+	fmt.Printf("  outputs share %.2f overlap matches on average — the connectivity\n", r40.MeanMatches)
+	fmt.Println("  indicators of Fig. 1 are lost, exactly as the paper describes.")
+
+	// Part 2: the same tracking running live through the hybrid
+	// pipeline (core.TrackingHybrid): in-situ local overlaps, in-transit
+	// global resolution, steps joined afterwards.
+	fmt.Println("\nlive pipeline tracking (hybrid feature tracking analysis):")
+	p, err := core.NewPipeline(core.Config{Sim: cfg, DSServers: 2, Buckets: 2, Net: netsim.Gemini()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	track := &core.TrackingHybrid{Threshold: ohThreshold}
+	p.Register(track)
+	const liveSteps = 25
+	rep, err := p.Run(liveSteps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s := 2; s <= liveSteps; s += 6 {
+		prev := rep.Result(track.Name(), s-1).(*core.TrackingStepResult)
+		cur := rep.Result(track.Name(), s).(*core.TrackingStepResult)
+		matches, err := core.JoinTracking(prev, cur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  step %2d -> %2d: %d features, %d overlap matches\n",
+			s-1, s, len(cur.Features), len(matches))
+	}
+}

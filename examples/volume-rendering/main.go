@@ -1,0 +1,111 @@
+// Volume rendering: the paper's Fig. 2 comparison.
+//
+// Two visualization algorithms render the temperature field of the
+// same simulation state:
+//
+//  1. fully in-situ — every rank ray-casts its full-resolution block
+//     and partial images composite in visibility order (highest
+//     quality, runs on the simulation's cores);
+//  2. hybrid — every rank down-samples its block in-situ (at every
+//     8th point, as in the paper), and a single serial in-transit
+//     stage assembles the block lookup table and renders.
+//
+// The example writes both images (plus a 2x hybrid for comparison) and
+// reports the pixel difference and payload reduction.
+//
+//	go run ./examples/volume-rendering
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"insitu/internal/grid"
+	"insitu/internal/render"
+	"insitu/internal/sim"
+)
+
+func main() {
+	g := grid.NewBox(96, 64, 32)
+	cfg := sim.DefaultConfig(g, 4, 2, 2)
+	cfg.KernelRate = 1.0
+	s, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Advance the flame and keep each rank's ghosted temperature
+	// block (what the in-situ renderer reads) plus the stitched
+	// global field (the post-processing reference).
+	const steps = 25
+	dc := s.Decomp()
+	ghosted := make([]*grid.Field, s.Ranks())
+	global := grid.NewField("T", g)
+	var mu sync.Mutex
+	err = sim.RunAll(s, func(rk *sim.Rank) error {
+		rk.RunSteps(steps)
+		f := rk.GhostedField("T").Clone()
+		own := rk.Field("T")
+		mu.Lock()
+		ghosted[rk.Comm().ID()] = f
+		global.Paste(own)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tf := render.HotMetal(0.3, 2.2)
+	dir := [3]float64{0.45, 0.3, 1}
+	r, err := render.NewRenderer(640, 480, tf, dir, [3]float64{0, 1, 0}, 0.4, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (1) Fully in-situ: per-block renders + ordered compositing.
+	insitu, err := r.RenderInSitu(dc, ghosted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(insitu.SavePNG("insitu-full.png"))
+	fmt.Println("wrote insitu-full.png (full-resolution in-situ render)")
+
+	// (2) Hybrid at 8x (the paper's factor) and 2x.
+	for _, factor := range []int{8, 2} {
+		bt := render.NewBlockTable()
+		var payload int
+		for rank := 0; rank < dc.Ranks(); rank++ {
+			p, n := render.DownsampleForTransit(ghosted[rank], dc.Block(rank), factor)
+			payload += n
+			if err := bt.AddMarshalled(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		hr, err := render.NewRenderer(640, 480, tf, dir, [3]float64{0, 1, 0},
+			r.Step/float64(factor), bt.Bounds())
+		if err != nil {
+			log.Fatal(err)
+		}
+		img, err := hr.RenderTable(bt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("hybrid-%dx.png", factor)
+		must(img.SavePNG(name))
+		diff, _ := render.MeanAbsDiff(insitu, img)
+		raw := global.Bytes()
+		fmt.Printf("wrote %s: moved %.3f MB of %.3f MB raw (%.0fx reduction), mean pixel diff %.4f\n",
+			name, float64(payload)/1e6, float64(raw)/1e6, float64(raw)/float64(payload), diff)
+	}
+
+	fmt.Println("\nas in Fig. 2: the down-sampled hybrid images preserve the flame's")
+	fmt.Println("structure for monitoring, at a small fraction of the data movement.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package bp
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"insitu/internal/grid"
+)
+
+func sampleFields(rng *rand.Rand) []*grid.Field {
+	b := grid.Box{Lo: [3]int{2, 0, 1}, Hi: [3]int{8, 5, 4}}
+	names := []string{"T", "Y_H2", "Y_OH"}
+	var out []*grid.Field
+	for _, n := range names {
+		f := grid.NewField(n, b)
+		for i := range f.Data {
+			f.Data[i] = rng.NormFloat64()
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rank0.bp")
+	fields := sampleFields(rand.New(rand.NewSource(2)))
+	n, err := WriteFile(path, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != n {
+		t.Fatalf("reported %d bytes, file has %d", n, fi.Size())
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fields) {
+		t.Fatalf("want %d fields, got %d", len(fields), len(got))
+	}
+	for i, f := range fields {
+		g := got[i]
+		if g.Name != f.Name || g.Box != f.Box {
+			t.Fatalf("field %d header mismatch", i)
+		}
+		for j := range f.Data {
+			if g.Data[j] != f.Data[j] {
+				t.Fatalf("field %s data mismatch at %d", f.Name, j)
+			}
+		}
+	}
+}
+
+func TestReadVar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rank0.bp")
+	fields := sampleFields(rand.New(rand.NewSource(3)))
+	if _, err := WriteFile(path, fields); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadVar(path, "Y_OH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "Y_OH" || f.Data[0] != fields[2].Data[0] {
+		t.Fatal("selective read returned wrong variable")
+	}
+	if _, err := ReadVar(path, "missing"); err == nil {
+		t.Fatal("missing variable must error")
+	}
+}
+
+func TestCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bp")
+	if err := os.WriteFile(path, []byte("not a bp file at all........"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("garbage must error")
+	}
+	// Truncated real file.
+	good := filepath.Join(dir, "good.bp")
+	if _, err := WriteFile(good, sampleFields(rand.New(rand.NewSource(4)))); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(good)
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("truncated file must error")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.bp")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.bp")
+	if _, err := WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file should load 0 fields, got %d", len(got))
+	}
+}
+
+// TestIOModelMatchesTableI checks the Lustre model reproduces the
+// paper's I/O rows: 98.5 GB at both core counts gives ~6.56 s reads
+// and ~3.28 s writes, independent of the file count.
+func TestIOModelMatchesTableI(t *testing.T) {
+	m := JaguarLustre()
+	total := int64(98.5e9)
+	for _, nfiles := range []int{4480, 8960} {
+		r := m.ReadTime(total, nfiles)
+		w := m.WriteTime(total, nfiles)
+		if r < 6300*time.Millisecond || r > 6900*time.Millisecond {
+			t.Fatalf("nfiles=%d: read time %v outside Table I's ~6.56 s", nfiles, r)
+		}
+		if w < 3100*time.Millisecond || w > 3500*time.Millisecond {
+			t.Fatalf("nfiles=%d: write time %v outside Table I's ~3.28 s", nfiles, w)
+		}
+	}
+	// I/O time must be (nearly) independent of the writer count — the
+	// OSTs are the bottleneck.
+	r1 := m.ReadTime(total, 4480)
+	r2 := m.ReadTime(total, 8960)
+	diff := r2 - r1
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 100*time.Millisecond {
+		t.Fatalf("read time should not depend on file count: %v vs %v", r1, r2)
+	}
+}
+
+func TestIOModelDegenerate(t *testing.T) {
+	var m IOModel // zero bandwidths
+	if m.ReadTime(1e9, 10) != 0 || m.WriteTime(1e9, 10) != 0 {
+		t.Fatal("zero-bandwidth model must return 0")
+	}
+	m2 := IOModel{ReadBandwidth: 1e9, WriteBandwidth: 1e9, PerFileLatency: time.Millisecond}
+	// ParallelFiles unset defaults to serial waves.
+	if m2.ReadTime(0, 3) != 3*time.Millisecond {
+		t.Fatalf("per-file latency waves wrong: %v", m2.ReadTime(0, 3))
+	}
+}

@@ -1,0 +1,21 @@
+package comm_test
+
+import (
+	"fmt"
+
+	"insitu/internal/comm"
+)
+
+// An SPMD program: every rank contributes its id, the allreduce gives
+// every rank the same sum — the pattern the fully in-situ statistics
+// learn stage uses.
+func ExampleRun() {
+	results := make([]int, 4)
+	comm.Run(4, func(r *comm.Rank) {
+		sum := r.Allreduce(r.ID(), func(a, b any) any { return a.(int) + b.(int) })
+		results[r.ID()] = sum.(int)
+	})
+	fmt.Println(results)
+	// Output:
+	// [6 6 6 6]
+}

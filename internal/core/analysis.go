@@ -1,0 +1,90 @@
+// Package core implements the paper's hybrid in-situ/in-transit
+// analysis framework: analyses are decomposed into a massively
+// parallel in-situ stage running on the simulation ranks and a
+// small-scale or serial in-transit stage running on staging buckets,
+// connected by the DART transport and the DataSpaces scheduler, with
+// successive timesteps temporally multiplexed across buckets.
+//
+// The package also provides the paper's three reformulated analyses
+// (descriptive statistics, merge-tree topology, volume rendering) in
+// both fully in-situ and hybrid variants, plus the auto-correlative
+// statistics extension sketched in its conclusion.
+package core
+
+import (
+	"insitu/internal/comm"
+	"insitu/internal/grid"
+	"insitu/internal/sim"
+	"insitu/internal/staging"
+)
+
+// Ctx is the per-rank, per-step context handed to in-situ stages.
+type Ctx struct {
+	Comm   *comm.Rank
+	Sim    *sim.Rank
+	Step   int
+	Global grid.Box
+	Owned  grid.Box
+	Decomp *grid.Decomp
+	// State persists per rank across steps, for analyses that
+	// accumulate (for example temporal autocorrelation ring buffers).
+	State map[string]any
+}
+
+// Analysis is the common contract: a name (which also keys descriptors
+// and tasks in DataSpaces) and a cadence in steps. The paper's runs
+// analyze every step in the benchmarks, every ~10th in production.
+type Analysis interface {
+	Name() string
+	Every() int
+}
+
+// InSituAnalysis completes entirely on the primary resource. Its
+// result (returned by rank 0; other ranks may return nil) is stored in
+// the run report. The stage may use collectives through ctx.Comm.
+type InSituAnalysis interface {
+	Analysis
+	RunInSitu(ctx *Ctx) (any, error)
+}
+
+// HybridAnalysis is split: InSituStage runs per rank and returns the
+// intermediate payload to stage (orders of magnitude smaller than the
+// raw block); InTransit runs once per step on a staging bucket over
+// all ranks' payloads, ordered by rank.
+type HybridAnalysis interface {
+	Analysis
+	InSituStage(ctx *Ctx) ([]byte, error)
+	InTransit(step int, payloads [][]byte) (any, error)
+}
+
+// StreamInput is one payload delivered to a streaming in-transit
+// stage in arrival order.
+type StreamInput = staging.StreamInput
+
+// StreamingHybridAnalysis is a hybrid analysis whose in-transit stage
+// consumes payloads as their transfers complete instead of waiting for
+// the full set — the paper's proposed streaming improvement, hiding
+// in-transit compute behind data movement. When an analysis implements
+// both InTransit and InTransitStream, the streaming stage is used.
+type StreamingHybridAnalysis interface {
+	Analysis
+	InSituStage(ctx *Ctx) ([]byte, error)
+	InTransitStream(step int, inputs <-chan StreamInput) (any, error)
+}
+
+// hybridStage is the producer-side contract shared by both hybrid
+// kinds.
+type hybridStage interface {
+	Analysis
+	InSituStage(ctx *Ctx) ([]byte, error)
+}
+
+// due reports whether an analysis runs at a step (steps are 1-based;
+// cadence n means steps n, 2n, ...).
+func due(a Analysis, step int) bool {
+	n := a.Every()
+	if n <= 0 {
+		n = 1
+	}
+	return step%n == 0
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"insitu/internal/mergetree"
+	"insitu/internal/render"
+)
+
+// TestLinkedViews runs two simultaneous hybrid visualization instances
+// with different variables and view directions — the paper's "multiple
+// instances of each visualization mode ... enabling scientists to
+// explore different aspects of simulation and analysis data in
+// linked-views".
+func TestLinkedViews(t *testing.T) {
+	const steps = 2
+	simCfg := testSimConfig(2, 2, 1)
+	p, err := NewPipeline(DefaultConfig(simCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := NewVizHybrid(16, 12, 2)
+	front.Tag = "temperature-front"
+	side := NewVizHybrid(16, 12, 2)
+	side.Tag = "OH-side"
+	side.Var = "Y_OH"
+	side.Dir = [3]float64{1, 0.1, 0}
+	side.TF = render.HotMetal(0, 0.25)
+	p.Register(front)
+	p.Register(side)
+
+	rep, err := p.Run(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Result(front.Name(), steps)
+	b := rep.Result(side.Name(), steps)
+	if a == nil || b == nil {
+		t.Fatal("one of the linked views produced no image")
+	}
+	if front.Name() == side.Name() {
+		t.Fatal("tags must disambiguate instance names")
+	}
+	imgA, imgB := a.(*render.Image), b.(*render.Image)
+	same := true
+	for i := range imgA.Pix {
+		if imgA.Pix[i] != imgB.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different variables/views must yield different images")
+	}
+}
+
+// TestPipelineReleasesPinnedMemory: after a run drains, every
+// intermediate region registered by the in-situ stages must have been
+// released — the simulation's scratch-space constraint from §III.
+func TestPipelineReleasesPinnedMemory(t *testing.T) {
+	simCfg := testSimConfig(2, 2, 1)
+	p, err := NewPipeline(DefaultConfig(simCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Register(&StatsHybrid{})
+	p.Register(NewTopologyHybrid())
+	p.Register(NewVizHybrid(16, 12, 2))
+	if _, err := p.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.PinnedRegions(); n != 0 {
+		t.Fatalf("%d intermediate regions still pinned after drain", n)
+	}
+}
+
+// TestTopologyParallelWorkers: the Workers>1 hierarchical in-transit
+// variant must match the serial glue through the full pipeline.
+func TestTopologyParallelWorkers(t *testing.T) {
+	const steps = 2
+	simCfg := testSimConfig(2, 2, 2)
+	run := func(workers int) *TopologyResult {
+		p, err := NewPipeline(DefaultConfig(simCfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := NewTopologyHybrid()
+		topo.Workers = workers
+		p.Register(topo)
+		rep, err := p.Run(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Result(topo.Name(), steps).(*TopologyResult)
+	}
+	serial := run(0)
+	parallel := run(4)
+	reduce := func(tr *mergetree.Tree) *mergetree.Tree {
+		return mergetree.Reduce(tr, func(n *mergetree.Node) bool { return false })
+	}
+	if !mergetree.Equal(reduce(serial.Tree), reduce(parallel.Tree)) {
+		t.Fatal("parallel hierarchical glue differs from serial through the pipeline")
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"insitu/internal/comm"
+	"insitu/internal/dart"
+	"insitu/internal/dataspaces"
+	"insitu/internal/metrics"
+	"insitu/internal/netsim"
+	"insitu/internal/sim"
+	"insitu/internal/staging"
+	"insitu/internal/trace"
+)
+
+// Config sizes the secondary resource, mirroring the paper's Table I
+// core allocations (simulation/in-situ cores come from the sim
+// decomposition; DataSpaces-service cores and in-transit cores are
+// configured here).
+type Config struct {
+	Sim       sim.Config
+	DSServers int // DataSpaces service shards
+	Buckets   int // in-transit staging buckets
+	Net       netsim.Config
+}
+
+// DefaultConfig mirrors the paper's resource ratios at laptop scale.
+func DefaultConfig(simCfg sim.Config) Config {
+	return Config{Sim: simCfg, DSServers: 4, Buckets: 4, Net: netsim.Gemini()}
+}
+
+// Pipeline wires the simulation, the transport and coordination
+// layers, the staging area, and the registered analyses into one
+// runnable system (the paper's Fig. 5).
+type Pipeline struct {
+	cfg Config
+
+	sim    *sim.Sim
+	net    *netsim.Network
+	fabric *dart.Fabric
+	ds     *dataspaces.Service
+	area   *staging.Area
+	col    *metrics.Collector
+
+	analyses []Analysis
+
+	mu       sync.Mutex
+	results  map[string]map[int]any // analysis -> step -> output
+	runErrs  []error
+	eps      map[int]*dart.Endpoint // endpoint id -> endpoint (for release)
+	expected int
+	ran      bool
+	tl       *trace.Timeline
+}
+
+// NewPipeline validates the configuration and builds all subsystems.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.DSServers < 1 {
+		return nil, fmt.Errorf("core: need at least one DataSpaces server")
+	}
+	if cfg.Buckets < 1 {
+		return nil, fmt.Errorf("core: need at least one staging bucket")
+	}
+	s, err := sim.New(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	net := netsim.New(cfg.Net)
+	fabric := dart.NewFabric(net)
+	ds, err := dataspaces.New(fabric, cfg.DSServers)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		sim:     s,
+		net:     net,
+		fabric:  fabric,
+		ds:      ds,
+		col:     metrics.NewCollector(),
+		results: make(map[string]map[int]any),
+		eps:     make(map[int]*dart.Endpoint),
+	}
+	area, err := staging.New(fabric, ds, cfg.Buckets, staging.WithRelease(p.releaseHandle))
+	if err != nil {
+		return nil, err
+	}
+	p.area = area
+	return p, nil
+}
+
+// Register adds an analysis; all registrations must happen before Run.
+func (p *Pipeline) Register(a Analysis) {
+	p.analyses = append(p.analyses, a)
+}
+
+// Sim returns the simulation description.
+func (p *Pipeline) Sim() *sim.Sim { return p.sim }
+
+// Metrics returns the run's metrics collector.
+func (p *Pipeline) Metrics() *metrics.Collector { return p.col }
+
+// Network returns the simulated interconnect, for byte accounting.
+func (p *Pipeline) Network() *netsim.Network { return p.net }
+
+// EnableTrace attaches an execution timeline: simulation steps and
+// per-bucket in-transit tasks are recorded as spans, so the temporal
+// multiplexing can be rendered as a Gantt chart after the run. Call
+// before Run.
+func (p *Pipeline) EnableTrace() *trace.Timeline {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tl == nil {
+		p.tl = trace.New()
+	}
+	return p.tl
+}
+
+// PinnedRegions returns the number of intermediate-data regions still
+// pinned on the simulation ranks' endpoints. After Run has drained,
+// a leak-free pipeline reports zero: every payload was released once
+// its staging bucket pulled it.
+func (p *Pipeline) PinnedRegions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, ep := range p.eps {
+		total += ep.Regions()
+	}
+	return total
+}
+
+// releaseHandle frees a pinned intermediate region once the staging
+// bucket has pulled it.
+func (p *Pipeline) releaseHandle(d dataspaces.Descriptor) {
+	p.mu.Lock()
+	ep := p.eps[d.Handle.Endpoint]
+	p.mu.Unlock()
+	if ep != nil {
+		_ = ep.Release(d.Handle)
+	}
+}
+
+func (p *Pipeline) recordErr(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.runErrs = append(p.runErrs, err)
+}
+
+func (p *Pipeline) storeResult(name string, step int, out any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.results[name]
+	if !ok {
+		m = make(map[int]any)
+		p.results[name] = m
+	}
+	m[step] = out
+}
+
+// Report is the outcome of a pipeline run.
+type Report struct {
+	Steps   int
+	Results map[string]map[int]any // analysis -> step -> output
+	Metrics *metrics.Collector
+	Net     netsim.Stats
+	Errs    []error
+}
+
+// Result returns the stored output of an analysis at a step.
+func (r *Report) Result(analysis string, step int) any {
+	m, ok := r.Results[analysis]
+	if !ok {
+		return nil
+	}
+	return m[step]
+}
+
+// Run executes the full pipeline for the given number of steps and
+// blocks until the simulation has finished and every in-transit task
+// has drained. Steps are numbered 1..steps.
+func (p *Pipeline) Run(steps int) (*Report, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("core: steps must be >= 1")
+	}
+	p.mu.Lock()
+	if p.ran {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("core: a pipeline runs once; build a new one to run again")
+	}
+	p.ran = true
+	p.mu.Unlock()
+	// Count expected in-transit tasks so the drain knows when to stop.
+	p.expected = 0
+	for _, a := range p.analyses {
+		if _, ok := a.(hybridStage); !ok {
+			continue
+		}
+		for s := 1; s <= steps; s++ {
+			if due(a, s) {
+				p.expected++
+			}
+		}
+	}
+
+	// Install staging handlers. Streaming stages take precedence when
+	// an analysis implements both kinds.
+	for _, a := range p.analyses {
+		if sh, ok := a.(StreamingHybridAnalysis); ok {
+			shh := sh
+			p.area.HandleStream(sh.Name(), func(task dataspaces.Task, in <-chan staging.StreamInput) (any, error) {
+				return shh.InTransitStream(task.Step, in)
+			})
+			continue
+		}
+		if h, ok := a.(HybridAnalysis); ok {
+			hh := h
+			p.area.Handle(h.Name(), func(task dataspaces.Task, data [][]byte) (any, error) {
+				return hh.InTransit(task.Step, data)
+			})
+		}
+	}
+	p.area.Start()
+
+	// Drain results concurrently with the simulation.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		remaining := p.expected
+		for res := range p.area.Results() {
+			if p.tl != nil {
+				p.tl.Add(fmt.Sprintf("bucket-%d", res.Bucket),
+					fmt.Sprintf("%s@%d", res.Task.Analysis, res.Task.Step),
+					res.Start, res.End)
+			}
+			if res.Err != nil {
+				p.recordErr(fmt.Errorf("core: in-transit %s step %d: %w",
+					res.Task.Analysis, res.Task.Step, res.Err))
+			} else {
+				p.storeResult(res.Task.Analysis, res.Task.Step, res.Output)
+			}
+			// The serialized (sum) modeled pull time is the right
+			// "data movement time": a single bucket's ingress link
+			// admits one RDMA stream's worth of bandwidth at a time.
+			p.col.RecordTransit(res.Task.Analysis, res.MoveModeledSum, res.MoveWall,
+				res.BytesMoved, res.ComputeWall)
+			remaining--
+			if remaining == 0 {
+				p.ds.Close()
+			}
+		}
+	}()
+	if p.expected == 0 {
+		p.ds.Close()
+	}
+
+	// The SPMD simulation + in-situ loop.
+	comm.Run(p.sim.Ranks(), func(r *comm.Rank) {
+		if err := p.rankLoop(r, steps); err != nil {
+			p.recordErr(err)
+		}
+	})
+
+	// If any rank failed to submit its share of tasks, the drain
+	// goroutine would wait forever; close the queue so everything
+	// unblocks (in-flight tasks still finish).
+	p.mu.Lock()
+	aborted := len(p.runErrs) > 0
+	p.mu.Unlock()
+	if aborted {
+		p.ds.Close()
+	}
+	p.area.Wait()
+	<-drained
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep := &Report{
+		Steps:   steps,
+		Results: p.results,
+		Metrics: p.col,
+		Net:     p.net.Stats(),
+		Errs:    append([]error{}, p.runErrs...),
+	}
+	if len(rep.Errs) > 0 {
+		return rep, rep.Errs[0]
+	}
+	return rep, nil
+}
+
+// rankLoop is one rank's simulation + in-situ schedule.
+func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
+	rk, err := p.sim.NewRank(r)
+	if err != nil {
+		return err
+	}
+	ep := p.fabric.Register(fmt.Sprintf("sim-%d", r.ID()))
+	p.mu.Lock()
+	p.eps[ep.ID()] = ep
+	p.mu.Unlock()
+
+	ctx := &Ctx{
+		Comm:   r,
+		Sim:    rk,
+		Global: p.cfg.Sim.Global,
+		Owned:  rk.OwnedBox(),
+		Decomp: p.sim.Decomp(),
+		State:  make(map[string]any),
+	}
+
+	for step := 1; step <= steps; step++ {
+		t0 := time.Now()
+		rk.Step()
+		p.col.RecordSimStep(step, time.Since(t0))
+		if p.tl != nil && r.ID() == 0 {
+			p.tl.Add("sim", fmt.Sprintf("step %d", step), t0, time.Now())
+		}
+		ctx.Step = step
+
+		// Analysis errors are recorded but never abort the rank: a rank
+		// that stops stepping would deadlock the others' collectives,
+		// so the loop always keeps participating.
+		anyHybrid := false
+		for _, a := range p.analyses {
+			if !due(a, step) {
+				continue
+			}
+			switch an := a.(type) {
+			case InSituAnalysis:
+				t := time.Now()
+				out, err := an.RunInSitu(ctx)
+				p.col.RecordInSitu(an.Name(), step, time.Since(t))
+				if err != nil {
+					p.recordErr(fmt.Errorf("core: in-situ %s step %d rank %d: %w", an.Name(), step, r.ID(), err))
+					continue
+				}
+				if r.ID() == 0 && out != nil {
+					p.storeResult(an.Name(), step, out)
+				}
+			case hybridStage:
+				anyHybrid = true
+				t := time.Now()
+				payload, err := an.InSituStage(ctx)
+				p.col.RecordInSitu(an.Name(), step, time.Since(t))
+				if err != nil {
+					p.recordErr(fmt.Errorf("core: in-situ stage %s step %d rank %d: %w", an.Name(), step, r.ID(), err))
+					continue
+				}
+				h := ep.RegisterMem(payload)
+				p.ds.Put(dataspaces.Descriptor{
+					Name:    an.Name(),
+					Version: step,
+					Box:     rk.OwnedBox(),
+					Rank:    r.ID(),
+					Handle:  h,
+				})
+			default:
+				p.recordErr(fmt.Errorf("core: analysis %s implements neither InSituAnalysis nor HybridAnalysis", a.Name()))
+			}
+		}
+
+		// Data-ready: once every rank has registered its block, rank 0
+		// creates the in-transit task(s) for this step.
+		if anyHybrid {
+			r.Barrier()
+			if r.ID() == 0 {
+				for _, a := range p.analyses {
+					if _, ok := a.(hybridStage); !ok || !due(a, step) {
+						continue
+					}
+					inputs := p.ds.Query(a.Name(), step)
+					sortByRank(inputs)
+					if _, err := p.ds.SubmitTask(a.Name(), step, inputs); err != nil {
+						p.recordErr(fmt.Errorf("core: submit %s step %d: %w", a.Name(), step, err))
+					}
+					p.ds.Remove(a.Name(), step)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sortByRank orders descriptors by producing rank so in-transit
+// payload slices are deterministic.
+func sortByRank(ds []dataspaces.Descriptor) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Rank < ds[j-1].Rank; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

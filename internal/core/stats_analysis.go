@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"insitu/internal/stats"
+)
+
+// StatsInSitu is the fully in-situ descriptive-statistics variant:
+// learn and derive both run on the shared compute resources, with an
+// all-to-all (allreduce) guaranteeing a consistent model on every
+// rank. The derived per-variable statistics are the result.
+type StatsInSitu struct {
+	// Vars lists the variables to summarize (default: all 14).
+	Vars []string
+	// EveryN is the cadence in steps (default 1).
+	EveryN int
+}
+
+// Name implements Analysis.
+func (s *StatsInSitu) Name() string { return "in-situ descriptive statistics" }
+
+// Every implements Analysis.
+func (s *StatsInSitu) Every() int { return s.EveryN }
+
+// RunInSitu implements InSituAnalysis.
+func (s *StatsInSitu) RunInSitu(ctx *Ctx) (any, error) {
+	local := stats.NewModel()
+	for _, v := range s.vars(ctx) {
+		f := ctx.Sim.Field(v)
+		if f == nil {
+			return nil, fmt.Errorf("stats: unknown variable %q", v)
+		}
+		local.LearnField(f)
+	}
+	global := stats.ParallelLearn(ctx.Comm, local)
+	return global.DeriveAll(), nil
+}
+
+func (s *StatsInSitu) vars(ctx *Ctx) []string {
+	if len(s.Vars) > 0 {
+		return s.Vars
+	}
+	return allVarNames()
+}
+
+// StatsHybrid is the hybrid variant: learn runs in-situ per rank with
+// no communication at all; the partial models (a few hundred bytes
+// each) move to the staging area where a single serial process
+// aggregates them and derives the detailed statistics.
+type StatsHybrid struct {
+	Vars   []string
+	EveryN int
+}
+
+// Name implements Analysis.
+func (s *StatsHybrid) Name() string { return "hybrid descriptive statistics" }
+
+// Every implements Analysis.
+func (s *StatsHybrid) Every() int { return s.EveryN }
+
+// InSituStage implements HybridAnalysis: the learn stage.
+func (s *StatsHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
+	local := stats.NewModel()
+	vars := s.Vars
+	if len(vars) == 0 {
+		vars = allVarNames()
+	}
+	for _, v := range vars {
+		f := ctx.Sim.Field(v)
+		if f == nil {
+			return nil, fmt.Errorf("stats: unknown variable %q", v)
+		}
+		local.LearnField(f)
+	}
+	return local.Marshal(), nil
+}
+
+// InTransit implements HybridAnalysis: the derive stage — aggregate
+// all partial models and derive, serially.
+func (s *StatsHybrid) InTransit(step int, payloads [][]byte) (any, error) {
+	global, err := stats.AggregateSerial(payloads)
+	if err != nil {
+		return nil, err
+	}
+	return global.DeriveAll(), nil
+}
+
+// AssessTestResult is the output of the assess and test stages.
+type AssessTestResult struct {
+	Var      string
+	Model    stats.Derived
+	Assessed int64 // observations assessed
+	Extremes int64 // beyond Sigma standard deviations
+	Test     stats.TestResult
+}
+
+// AssessTestInSitu completes the four-stage pattern of the paper's
+// Fig. 4 inside the pipeline: learn (allreduce to a consistent global
+// model), derive, then assess every local observation against the
+// model (flagging |z| > Sigma outliers — candidate ignition kernels
+// when applied to temperature) and run the Jarque–Bera normality test.
+// Assess and test require no further communication beyond one count
+// reduction for reporting.
+type AssessTestInSitu struct {
+	// Var is the assessed variable (default "T").
+	Var string
+	// Sigma is the outlier threshold in standard deviations
+	// (default 3).
+	Sigma  float64
+	EveryN int
+}
+
+// Name implements Analysis.
+func (a *AssessTestInSitu) Name() string { return "in-situ assess & test" }
+
+// Every implements Analysis.
+func (a *AssessTestInSitu) Every() int { return a.EveryN }
+
+// RunInSitu implements InSituAnalysis.
+func (a *AssessTestInSitu) RunInSitu(ctx *Ctx) (any, error) {
+	name := a.Var
+	if name == "" {
+		name = "T"
+	}
+	sigma := a.Sigma
+	if sigma <= 0 {
+		sigma = 3
+	}
+	f := ctx.Sim.Field(name)
+	if f == nil {
+		return nil, fmt.Errorf("assess: unknown variable %q", name)
+	}
+	// Learn + derive.
+	local := stats.NewModel()
+	local.LearnField(f)
+	global := stats.ParallelLearn(ctx.Comm, local)
+	derived := stats.Derive(global.Var(name))
+	// Assess locally; reduce the outlier count for the report.
+	extremes := int64(0)
+	for _, as := range stats.Assess(f.Data, derived, sigma) {
+		if as.Extreme {
+			extremes++
+		}
+	}
+	total := ctx.Comm.Allreduce(extremes, func(x, y any) any { return x.(int64) + y.(int64) }).(int64)
+	if ctx.Comm.ID() != 0 {
+		return nil, nil
+	}
+	return &AssessTestResult{
+		Var:      name,
+		Model:    derived,
+		Assessed: derived.N,
+		Extremes: total,
+		Test:     stats.JarqueBera(derived),
+	}, nil
+}

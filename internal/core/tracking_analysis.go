@@ -1,0 +1,341 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"insitu/internal/grid"
+	"insitu/internal/mergetree"
+)
+
+// TrackingHybrid performs concurrent feature tracking — the capability
+// the paper's case study motivates: following ignition kernels whose
+// lifetime (~10 steps) is far shorter than any feasible I/O cadence.
+//
+// In-situ, each rank segments its block at the threshold, labels each
+// local component by its sweep-highest member (a local maximum, hence
+// retained in the reduced subtree), and counts voxel overlaps between
+// the previous and current step's local components. In-transit, the
+// glued global tree resolves every local representative to its global
+// feature. Because successive steps are temporally multiplexed across
+// buckets and may complete out of order, each step's result carries
+// its own representative→feature resolution; JoinTracking combines two
+// consecutive results into exact global overlap matches (equal to
+// what serial whole-field tracking would report).
+type TrackingHybrid struct {
+	// Var is the tracked variable (default "Y_OH", the ignition
+	// marker).
+	Var string
+	// Threshold defines the features.
+	Threshold float64
+	EveryN    int
+}
+
+// Name implements Analysis.
+func (tr *TrackingHybrid) Name() string { return "hybrid feature tracking" }
+
+// Every implements Analysis.
+func (tr *TrackingHybrid) Every() int { return tr.EveryN }
+
+func (tr *TrackingHybrid) varName() string {
+	if tr.Var == "" {
+		return "Y_OH"
+	}
+	return tr.Var
+}
+
+// RawMatch is one rank's voxel-overlap count between a previous-step
+// local component and a current-step local component, identified by
+// their representative (sweep-highest) vertices.
+type RawMatch struct {
+	PrevRep int64
+	CurRep  int64
+	Overlap int64
+}
+
+const trackingStateKey = "tracking-prev-labels"
+
+// localLabels segments the rank's extended block and returns
+// owned-voxel labels keyed by voxel id, labeled by the component's
+// sweep-highest member, plus the sorted list of representatives.
+func (tr *TrackingHybrid) localLabels(ctx *Ctx) (map[int64]int64, []int64, error) {
+	f := ctx.Sim.GhostedField(tr.varName())
+	if f == nil {
+		return nil, nil, fmt.Errorf("tracking: unknown variable %q", tr.varName())
+	}
+	ext := ctx.Owned.Grow(1).Intersect(ctx.Global)
+	block := f.Extract(ext)
+	seg := mergetree.SegmentField(block, ctx.Global, tr.Threshold)
+
+	// Sweep-highest member per component.
+	rep := make(map[int64]int64)
+	repVal := make(map[int64]float64)
+	for id, label := range seg.Labels {
+		i, j, k := grid.GlobalPoint(ctx.Global, id)
+		v := block.At(i, j, k)
+		if cur, ok := rep[label]; !ok || mergetree.Above(v, id, repVal[label], cur) {
+			rep[label] = id
+			repVal[label] = v
+		}
+	}
+	out := make(map[int64]int64)
+	repSet := make(map[int64]bool)
+	for id, label := range seg.Labels {
+		i, j, k := grid.GlobalPoint(ctx.Global, id)
+		if !ctx.Owned.Contains(i, j, k) {
+			continue
+		}
+		r := rep[label]
+		out[id] = r
+		repSet[r] = true
+	}
+	reps := make([]int64, 0, len(repSet))
+	for r := range repSet {
+		reps = append(reps, r)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	return out, reps, nil
+}
+
+// InSituStage implements HybridAnalysis.
+func (tr *TrackingHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
+	cur, reps, err := tr.localLabels(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Voxel overlaps against the previous invocation's labels.
+	var matches []RawMatch
+	if prev, ok := ctx.State[trackingStateKey].(map[int64]int64); ok {
+		counts := make(map[[2]int64]int64)
+		for id, pl := range prev {
+			if cl, ok := cur[id]; ok {
+				counts[[2]int64{pl, cl}]++
+			}
+		}
+		for k, n := range counts {
+			matches = append(matches, RawMatch{PrevRep: k[0], CurRep: k[1], Overlap: n})
+		}
+		sort.Slice(matches, func(i, j int) bool {
+			if matches[i].PrevRep != matches[j].PrevRep {
+				return matches[i].PrevRep < matches[j].PrevRep
+			}
+			return matches[i].CurRep < matches[j].CurRep
+		})
+	}
+	ctx.State[trackingStateKey] = cur
+
+	// The subtree rides along so the in-transit stage can resolve
+	// representatives against the global tree.
+	f := ctx.Sim.GhostedField(tr.varName())
+	st, err := mergetree.LocalSubtree(f, ctx.Global, ctx.Owned, ctx.Comm.ID(), mergetree.KeepSharedBoundary)
+	if err != nil {
+		return nil, err
+	}
+	return packTracking(st, reps, matches), nil
+}
+
+// packTracking serializes subtree + reps + matches.
+func packTracking(st *mergetree.Subtree, reps []int64, matches []RawMatch) []byte {
+	sub := st.Marshal()
+	var buf bytes.Buffer
+	var b8 [8]byte
+	putU := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		buf.Write(b8[:])
+	}
+	putU(uint64(len(sub)))
+	buf.Write(sub)
+	putU(uint64(len(reps)))
+	for _, r := range reps {
+		putU(uint64(r))
+	}
+	putU(uint64(len(matches)))
+	for _, m := range matches {
+		putU(uint64(m.PrevRep))
+		putU(uint64(m.CurRep))
+		putU(uint64(m.Overlap))
+	}
+	return buf.Bytes()
+}
+
+func unpackTracking(p []byte) (*mergetree.Subtree, []int64, []RawMatch, error) {
+	rd := func(n int) ([]byte, error) {
+		if len(p) < n {
+			return nil, fmt.Errorf("tracking: truncated payload")
+		}
+		out := p[:n]
+		p = p[n:]
+		return out, nil
+	}
+	u64 := func() (uint64, error) {
+		b, err := rd(8)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	subLen, err := u64()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	subBytes, err := rd(int(subLen))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := mergetree.UnmarshalSubtree(subBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nreps, err := u64()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reps := make([]int64, nreps)
+	for i := range reps {
+		v, err := u64()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		reps[i] = int64(v)
+	}
+	nm, err := u64()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	matches := make([]RawMatch, nm)
+	for i := range matches {
+		a, err := u64()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		b, err := u64()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		c, err := u64()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		matches[i] = RawMatch{PrevRep: int64(a), CurRep: int64(b), Overlap: int64(c)}
+	}
+	return st, reps, matches, nil
+}
+
+// TrackingStepResult is one step's in-transit output: the global
+// feature set, the representative→feature resolution for this step,
+// and the raw (unresolved on the previous side) matches.
+type TrackingStepResult struct {
+	Step       int
+	Features   []mergetree.Feature
+	Resolution map[int64]int64 // representative vertex -> global feature label
+	Raw        []RawMatch
+}
+
+// InTransit implements HybridAnalysis.
+func (tr *TrackingHybrid) InTransit(step int, payloads [][]byte) (any, error) {
+	var subtrees []*mergetree.Subtree
+	var reps []int64
+	var raw []RawMatch
+	for i, p := range payloads {
+		st, rs, ms, err := unpackTracking(p)
+		if err != nil {
+			return nil, fmt.Errorf("tracking: payload %d: %w", i, err)
+		}
+		subtrees = append(subtrees, st)
+		reps = append(reps, rs...)
+		raw = append(raw, ms...)
+	}
+	tree, _, err := mergetree.Glue(subtrees, mergetree.GlueOptions{Evict: true})
+	if err != nil {
+		return nil, err
+	}
+	seg := mergetree.Segment(tree, tr.Threshold)
+	res := &TrackingStepResult{
+		Step:       step,
+		Features:   seg.Features(tree),
+		Resolution: make(map[int64]int64, len(reps)),
+		Raw:        raw,
+	}
+	for _, r := range reps {
+		label, ok := seg.Labels[r]
+		if !ok {
+			return nil, fmt.Errorf("tracking: representative %d missing from global segmentation", r)
+		}
+		res.Resolution[r] = label
+	}
+	return res, nil
+}
+
+// BuildTrackGraph assembles a whole run's tracking results into the
+// feature-lineage graph: births (kernel inception), deaths
+// (dissipation), merges, splits and whole tracks with lifetimes — the
+// analysis of intermittent phenomena the paper's case study motivates.
+// Results must exist for every due step in [1, steps].
+func BuildTrackGraph(rep *Report, track *TrackingHybrid, steps int) (*mergetree.TrackGraph, error) {
+	g := mergetree.NewTrackGraph()
+	every := track.Every()
+	if every < 1 {
+		every = 1
+	}
+	var prev *TrackingStepResult
+	for s := every; s <= steps; s += every {
+		res, ok := rep.Result(track.Name(), s).(*TrackingStepResult)
+		if !ok || res == nil {
+			return nil, fmt.Errorf("tracking: missing result for step %d", s)
+		}
+		feats := make([]int64, 0, len(res.Features))
+		for _, f := range res.Features {
+			feats = append(feats, f.Label)
+		}
+		if err := g.AddStep(s, feats); err != nil {
+			return nil, err
+		}
+		if prev != nil {
+			matches, err := JoinTracking(prev, res)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.AddMatches(prev.Step, s, matches); err != nil {
+				return nil, err
+			}
+		}
+		prev = res
+	}
+	return g, nil
+}
+
+// JoinTracking combines two consecutive steps' results into global
+// overlap matches: each raw match's previous-side representative is
+// resolved against the earlier step, its current side against the
+// later one, and counts aggregate per global feature pair. The result
+// equals serial whole-field tracking (mergetree.Track) exactly.
+func JoinTracking(prev, cur *TrackingStepResult) ([]mergetree.Match, error) {
+	counts := make(map[[2]int64]int64)
+	for _, m := range cur.Raw {
+		pl, ok := prev.Resolution[m.PrevRep]
+		if !ok {
+			return nil, fmt.Errorf("tracking: previous representative %d not resolved by step %d", m.PrevRep, prev.Step)
+		}
+		cl, ok := cur.Resolution[m.CurRep]
+		if !ok {
+			return nil, fmt.Errorf("tracking: current representative %d not resolved by step %d", m.CurRep, cur.Step)
+		}
+		counts[[2]int64{pl, cl}] += m.Overlap
+	}
+	out := make([]mergetree.Match, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, mergetree.Match{PrevLabel: k[0], NextLabel: k[1], Overlap: int(n)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Overlap != out[j].Overlap {
+			return out[i].Overlap > out[j].Overlap
+		}
+		if out[i].PrevLabel != out[j].PrevLabel {
+			return out[i].PrevLabel < out[j].PrevLabel
+		}
+		return out[i].NextLabel < out[j].NextLabel
+	})
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"insitu/internal/grid"
+	"insitu/internal/render"
+)
+
+// VizInSitu is the fully in-situ volume renderer: every rank
+// ray-casts its full-resolution block on the shared compute resources,
+// partial images are gathered to rank 0 and composited in visibility
+// order. The result (on rank 0) is the full-quality frame.
+type VizInSitu struct {
+	Var      string // scalar to render (default "T")
+	EveryN   int
+	Width    int
+	Height   int
+	Dir      [3]float64
+	TF       *render.TransferFunc
+	StepSize float64
+	// Tag distinguishes multiple simultaneous instances ("multiple
+	// instances of each visualization mode can be dynamically created
+	// ... enabling scientists to explore different aspects ... in
+	// linked-views"); it is appended to the analysis name.
+	Tag string
+}
+
+// NewVizInSitu returns an in-situ renderer with sensible defaults for
+// the temperature field.
+func NewVizInSitu(w, h int) *VizInSitu {
+	return &VizInSitu{
+		Var: "T", Width: w, Height: h,
+		Dir: [3]float64{0.45, 0.3, 1}, StepSize: 0.5,
+	}
+}
+
+// Name implements Analysis.
+func (v *VizInSitu) Name() string {
+	if v.Tag != "" {
+		return "in-situ visualization [" + v.Tag + "]"
+	}
+	return "in-situ visualization"
+}
+
+// Every implements Analysis.
+func (v *VizInSitu) Every() int { return v.EveryN }
+
+func (v *VizInSitu) renderer(global grid.Box, f *grid.Field) (*render.Renderer, error) {
+	tf := v.TF
+	if tf == nil {
+		// The default must be identical on every rank (a per-rank
+		// range would break compositing), so use a fixed window
+		// covering the proxy's temperature range.
+		tf = render.HotMetal(0.2, 2.0)
+	}
+	return render.NewRenderer(v.Width, v.Height, tf, v.Dir, [3]float64{0, 1, 0}, v.StepSize, global)
+}
+
+// RunInSitu implements InSituAnalysis: render the local block, gather,
+// composite on rank 0.
+func (v *VizInSitu) RunInSitu(ctx *Ctx) (any, error) {
+	name := v.Var
+	if name == "" {
+		name = "T"
+	}
+	f := ctx.Sim.GhostedField(name)
+	if f == nil {
+		return nil, fmt.Errorf("viz: unknown variable %q", name)
+	}
+	r, err := v.renderer(ctx.Global, f)
+	if err != nil {
+		return nil, err
+	}
+	part := r.RenderBlock(f, ctx.Owned)
+	images := ctx.Comm.Gather(0, part)
+	if ctx.Comm.ID() != 0 {
+		return nil, nil
+	}
+	// Composite in visibility order of the blocks.
+	order := r.BlockOrder(ctx.Decomp)
+	ordered := make([]*render.Image, 0, len(images))
+	for _, rank := range order {
+		ordered = append(ordered, images[rank].(*render.Image))
+	}
+	return render.CompositeFrontToBack(ordered)
+}
+
+// VizHybrid is the hybrid renderer: each rank down-samples its block
+// in-situ (at every Factor-th grid point); the single serial
+// in-transit stage builds the block lookup table and ray-casts the
+// down-sampled volume.
+type VizHybrid struct {
+	Var      string
+	EveryN   int
+	Factor   int // down-sampling factor (the paper uses 8)
+	Width    int
+	Height   int
+	Dir      [3]float64
+	TF       *render.TransferFunc
+	StepSize float64 // in down-sampled index space
+	// Tag distinguishes multiple simultaneous instances (linked
+	// views); it is appended to the analysis name.
+	Tag string
+	// AutoRange steers the transfer function per step: the in-transit
+	// stage frames HotMetal over the received blocks' global value
+	// range, so the rendering adapts as the flame evolves — the
+	// on-the-fly visualization-parameter steering a concurrent
+	// approach enables. Ignored when TF is set explicitly.
+	AutoRange bool
+}
+
+// NewVizHybrid returns the hybrid renderer with the paper's 8x
+// down-sampling.
+func NewVizHybrid(w, h int, factor int) *VizHybrid {
+	return &VizHybrid{
+		Var: "T", Width: w, Height: h, Factor: factor,
+		Dir: [3]float64{0.45, 0.3, 1}, StepSize: 0.5,
+	}
+}
+
+// Name implements Analysis.
+func (v *VizHybrid) Name() string {
+	if v.Tag != "" {
+		return "hybrid visualization [" + v.Tag + "]"
+	}
+	return "hybrid visualization"
+}
+
+// Every implements Analysis.
+func (v *VizHybrid) Every() int { return v.EveryN }
+
+// InSituStage implements HybridAnalysis: down-sample and marshal.
+func (v *VizHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
+	name := v.Var
+	if name == "" {
+		name = "T"
+	}
+	f := ctx.Sim.GhostedField(name)
+	if f == nil {
+		return nil, fmt.Errorf("viz: unknown variable %q", name)
+	}
+	factor := v.Factor
+	if factor < 1 {
+		factor = 8
+	}
+	payload, _ := render.DownsampleForTransit(f, ctx.Owned, factor)
+	return payload, nil
+}
+
+// InTransit implements HybridAnalysis: assemble the lookup table and
+// render serially.
+func (v *VizHybrid) InTransit(step int, payloads [][]byte) (any, error) {
+	bt := render.NewBlockTable()
+	for i, p := range payloads {
+		if err := bt.AddMarshalled(p); err != nil {
+			return nil, fmt.Errorf("viz: payload %d: %w", i, err)
+		}
+	}
+	tf := v.TF
+	if tf == nil {
+		if v.AutoRange {
+			lo, hi := bt.ValueRange()
+			if hi <= lo {
+				hi = lo + 1
+			}
+			tf = render.HotMetal(lo, hi)
+		} else {
+			tf = render.HotMetal(0.2, 2.0)
+		}
+	}
+	r, err := render.NewRenderer(v.Width, v.Height, tf, v.Dir, [3]float64{0, 1, 0}, v.StepSize, bt.Bounds())
+	if err != nil {
+		return nil, err
+	}
+	return r.RenderTable(bt)
+}

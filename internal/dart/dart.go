@@ -1,0 +1,298 @@
+// Package dart implements an asynchronous communication and data
+// transport substrate modeled on DART (Docan et al., HPDC'08), the
+// layer DataSpaces builds on. It provides the services the paper lists:
+// node registration/unregistration, one-sided data transfer (RDMA Get
+// and Put over registered memory regions), small-message passing, and
+// event notification at both the source and destination of a completed
+// transaction.
+//
+// Transfers move real bytes through a netsim.Network, which selects the
+// SMSG/FMA/BTE mechanism by message size and accounts modeled cost, so
+// the scheduling layers above observe the same asynchrony and cost
+// shape as DART on Gemini.
+package dart
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"insitu/internal/netsim"
+)
+
+// MemHandle names a registered memory region on some endpoint. Handles
+// are the descriptors DataSpaces stores in its task queue: holding a
+// handle is sufficient for any endpoint to pull the data.
+type MemHandle struct {
+	Endpoint int // owning endpoint id
+	Region   int // region id within the endpoint
+	Size     int // region size in bytes
+}
+
+// EventType classifies completion events.
+type EventType int
+
+const (
+	// EventGetDone fires at both ends when a Get transaction completes.
+	EventGetDone EventType = iota
+	// EventPutDone fires at both ends when a Put transaction completes.
+	EventPutDone
+	// EventUnregistered fires at the owner when a region is released.
+	EventUnregistered
+)
+
+// Event is a transaction completion notification.
+type Event struct {
+	Type     EventType
+	Handle   MemHandle
+	Peer     int // the other endpoint of the transaction
+	Bytes    int
+	Duration time.Duration // modeled transfer duration
+	Path     netsim.Path
+}
+
+// Fabric is the shared transport instance: a set of endpoints attached
+// to one simulated network.
+type Fabric struct {
+	net *netsim.Network
+
+	mu   sync.Mutex
+	next int
+	eps  map[int]*Endpoint
+}
+
+// NewFabric creates a transport fabric over the given network.
+func NewFabric(net *netsim.Network) *Fabric {
+	return &Fabric{net: net, eps: make(map[int]*Endpoint)}
+}
+
+// Network returns the underlying simulated network.
+func (f *Fabric) Network() *netsim.Network { return f.net }
+
+// Endpoint is one attached node: a simulation rank, a DataSpaces
+// server, or a staging bucket.
+type Endpoint struct {
+	f    *Fabric
+	id   int
+	name string
+
+	mu      sync.Mutex
+	nextReg int
+	regions map[int][]byte
+	closed  bool
+
+	events chan Event
+	msgs   chan Message
+}
+
+// Message is a small control message delivered over the SMSG path.
+type Message struct {
+	From    int
+	Kind    string
+	Payload []byte
+}
+
+// Register attaches a new endpoint to the fabric. The returned
+// endpoint buffers up to 1024 pending events and messages.
+func (f *Fabric) Register(name string) *Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep := &Endpoint{
+		f:       f,
+		id:      f.next,
+		name:    name,
+		regions: make(map[int][]byte),
+		events:  make(chan Event, 1024),
+		msgs:    make(chan Message, 1024),
+	}
+	f.next++
+	f.eps[ep.id] = ep
+	return ep
+}
+
+// Unregister detaches the endpoint and releases its regions.
+func (f *Fabric) Unregister(ep *Endpoint) {
+	f.mu.Lock()
+	delete(f.eps, ep.id)
+	f.mu.Unlock()
+	ep.mu.Lock()
+	ep.closed = true
+	ep.regions = nil
+	ep.mu.Unlock()
+}
+
+func (f *Fabric) lookup(id int) (*Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.eps[id]
+	if !ok {
+		return nil, fmt.Errorf("dart: endpoint %d not registered", id)
+	}
+	return ep, nil
+}
+
+// ID returns the endpoint's fabric-unique id.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// Name returns the human-readable endpoint name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Events returns the endpoint's completion-event stream.
+func (ep *Endpoint) Events() <-chan Event { return ep.events }
+
+// Messages returns the endpoint's incoming small-message stream.
+func (ep *Endpoint) Messages() <-chan Message { return ep.msgs }
+
+// RegisterMem pins data for remote one-sided access and returns its
+// handle. No private copy is taken: the caller must keep the buffer
+// stable until Release, exactly as with RDMA-pinned memory.
+func (ep *Endpoint) RegisterMem(data []byte) MemHandle {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	id := ep.nextReg
+	ep.nextReg++
+	ep.regions[id] = data
+	return MemHandle{Endpoint: ep.id, Region: id, Size: len(data)}
+}
+
+// Regions returns the number of currently pinned regions, used by
+// leak checks: a well-behaved pipeline releases every intermediate
+// after its consumer has pulled it.
+func (ep *Endpoint) Regions() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.regions)
+}
+
+// Release unpins a region previously registered on this endpoint.
+func (ep *Endpoint) Release(h MemHandle) error {
+	if h.Endpoint != ep.id {
+		return fmt.Errorf("dart: release of foreign handle %+v on endpoint %d", h, ep.id)
+	}
+	ep.mu.Lock()
+	_, ok := ep.regions[h.Region]
+	delete(ep.regions, h.Region)
+	ep.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dart: region %d not registered on endpoint %d", h.Region, ep.id)
+	}
+	ep.post(Event{Type: EventUnregistered, Handle: h, Peer: ep.id})
+	return nil
+}
+
+func (ep *Endpoint) region(id int) ([]byte, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil, fmt.Errorf("dart: endpoint %d is unregistered", ep.id)
+	}
+	data, ok := ep.regions[id]
+	if !ok {
+		return nil, fmt.Errorf("dart: region %d not found on endpoint %d", id, ep.id)
+	}
+	return data, nil
+}
+
+// post delivers an event without ever blocking the transport: if the
+// consumer is too slow the oldest event is dropped, mirroring
+// fixed-depth hardware completion queues.
+func (ep *Endpoint) post(ev Event) {
+	select {
+	case ep.events <- ev:
+	default:
+		select {
+		case <-ep.events:
+		default:
+		}
+		select {
+		case ep.events <- ev:
+		default:
+		}
+	}
+}
+
+// Get performs a blocking one-sided read of the remote region named by
+// h into a freshly allocated buffer, posting completion events at both
+// endpoints. It returns the data and the modeled transfer duration.
+func (ep *Endpoint) Get(h MemHandle) ([]byte, time.Duration, error) {
+	owner, err := ep.f.lookup(h.Endpoint)
+	if err != nil {
+		return nil, 0, err
+	}
+	src, err := owner.region(h.Region)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, d := ep.f.net.Transfer(src)
+	path := ep.f.net.Select(len(src))
+	ev := Event{Type: EventGetDone, Handle: h, Bytes: len(src), Duration: d, Path: path}
+	evSrc := ev
+	evSrc.Peer = ep.id
+	owner.post(evSrc)
+	evDst := ev
+	evDst.Peer = owner.id
+	ep.post(evDst)
+	return data, d, nil
+}
+
+// GetResult is the outcome of an asynchronous Get.
+type GetResult struct {
+	Data     []byte
+	Duration time.Duration
+	Err      error
+}
+
+// GetAsync launches a one-sided read and returns a channel that yields
+// the result when the transaction completes. This is the primitive the
+// staging buckets use to pull in-transit data while the simulation
+// proceeds.
+func (ep *Endpoint) GetAsync(h MemHandle) <-chan GetResult {
+	ch := make(chan GetResult, 1)
+	go func() {
+		data, d, err := ep.Get(h)
+		ch <- GetResult{Data: data, Duration: d, Err: err}
+	}()
+	return ch
+}
+
+// Put performs a blocking one-sided write into the remote region named
+// by h. len(data) must not exceed the region size.
+func (ep *Endpoint) Put(h MemHandle, data []byte) (time.Duration, error) {
+	owner, err := ep.f.lookup(h.Endpoint)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := owner.region(h.Region)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) > len(dst) {
+		return 0, fmt.Errorf("dart: put of %d bytes into region of %d bytes", len(data), len(dst))
+	}
+	moved, d := ep.f.net.Transfer(data)
+	owner.mu.Lock()
+	copy(dst, moved)
+	owner.mu.Unlock()
+	path := ep.f.net.Select(len(data))
+	ev := Event{Type: EventPutDone, Handle: h, Bytes: len(data), Duration: d, Path: path}
+	evSrc := ev
+	evSrc.Peer = owner.id
+	ep.post(evSrc)
+	evDst := ev
+	evDst.Peer = ep.id
+	owner.post(evDst)
+	return d, nil
+}
+
+// SendMsg delivers a small control message to the endpoint with id
+// `to` over the SMSG path. It blocks if the receiver's message queue
+// is full, providing natural backpressure for RPC traffic.
+func (ep *Endpoint) SendMsg(to int, kind string, payload []byte) error {
+	peer, err := ep.f.lookup(to)
+	if err != nil {
+		return err
+	}
+	moved, _ := ep.f.net.Transfer(payload)
+	peer.msgs <- Message{From: ep.id, Kind: kind, Payload: moved}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package dataspaces implements the scheduling and coordination layer
+// of the hybrid framework, modeled on DataSpaces (Docan et al.,
+// HPDC'10): a semantically specialized shared-space abstraction in
+// which in-situ producers insert descriptors for RDMA-enabled data
+// blocks, consumers query them by name, version (timestep), and
+// n-dimensional bounding box, and an in-transit task queue matches
+// data-ready events against bucket-ready requests in first-come
+// first-served order.
+//
+// The descriptor index is sharded over a configurable number of
+// servers by hashing, as in the paper ("the hashing used to balance
+// the RPC messages ... over multiple DataSpaces servers"); per-server
+// RPC counters expose that balance to tests and benchmarks.
+package dataspaces
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"insitu/internal/dart"
+	"insitu/internal/grid"
+)
+
+// Descriptor names one RDMA-enabled data block produced by an in-situ
+// stage: which analysis produced it, for which timestep, covering which
+// region, and the DART handle a bucket can pull it with.
+type Descriptor struct {
+	Name    string         // variable or intermediate-product name
+	Version int            // simulation timestep
+	Box     grid.Box       // spatial region covered
+	Rank    int            // producing simulation rank
+	Handle  dart.MemHandle // where the bytes live
+}
+
+// key is the index key descriptors are sharded and grouped by.
+type key struct {
+	name    string
+	version int
+}
+
+// server is one shard of the descriptor index.
+type server struct {
+	mu    sync.Mutex
+	index map[key][]Descriptor
+	rpcs  int64
+}
+
+// Task describes one unit of in-transit work: run the named analysis
+// for one timestep over the given input blocks. Tasks are created by
+// data-ready events and drained by bucket-ready requests.
+type Task struct {
+	ID       int64
+	Analysis string
+	Step     int
+	Inputs   []Descriptor
+}
+
+// Service is the coordination service: a sharded descriptor index plus
+// the in-transit task queue.
+type Service struct {
+	servers []*server
+	fabric  *dart.Fabric
+
+	mu      sync.Mutex
+	nextID  int64
+	queue   []Task      // pending tasks, FIFO
+	waiting []chan Task // free buckets, FIFO
+	closed  bool
+
+	assigned int64 // tasks handed to buckets
+}
+
+// New creates a service with the given number of index servers
+// attached to fabric. The paper's runs used 160 and 256
+// DataSpaces-service cores; here each server is a shard.
+func New(fabric *dart.Fabric, servers int) (*Service, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("dataspaces: need at least one server, got %d", servers)
+	}
+	s := &Service{fabric: fabric, servers: make([]*server, servers)}
+	for i := range s.servers {
+		s.servers[i] = &server{index: make(map[key][]Descriptor)}
+	}
+	return s, nil
+}
+
+// ErrClosed is returned by blocking operations after Close.
+var ErrClosed = errors.New("dataspaces: service closed")
+
+// shard returns the server responsible for a key.
+func (s *Service) shard(k key) *server {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", k.name, k.version)
+	return s.servers[int(h.Sum32())%len(s.servers)]
+}
+
+// rpcCost accounts one control RPC on the simulated network. The
+// descriptor payload is small, so it always rides the SMSG path.
+func (s *Service) rpcCost(d Descriptor) {
+	if s.fabric == nil {
+		return
+	}
+	// name + version + box (6 ints) + handle (3 ints) + rank.
+	size := len(d.Name) + 8 + 6*8 + 3*8 + 8
+	s.fabric.Network().Transfer(make([]byte, size))
+}
+
+// Put inserts a descriptor into the shared space. Producers call this
+// after registering their intermediate data with DART.
+func (s *Service) Put(d Descriptor) {
+	k := key{d.Name, d.Version}
+	sv := s.shard(k)
+	s.rpcCost(d)
+	sv.mu.Lock()
+	sv.index[k] = append(sv.index[k], d)
+	sv.rpcs++
+	sv.mu.Unlock()
+}
+
+// Query returns all descriptors registered under (name, version).
+func (s *Service) Query(name string, version int) []Descriptor {
+	k := key{name, version}
+	sv := s.shard(k)
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.rpcs++
+	out := make([]Descriptor, len(sv.index[k]))
+	copy(out, sv.index[k])
+	return out
+}
+
+// QueryBox returns the descriptors under (name, version) whose boxes
+// intersect the query box — DataSpaces' flexible spatial query.
+func (s *Service) QueryBox(name string, version int, box grid.Box) []Descriptor {
+	all := s.Query(name, version)
+	out := all[:0]
+	for _, d := range all {
+		if d.Box.Overlaps(box) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Remove deletes all descriptors under (name, version), typically after
+// the consuming in-transit task has pulled the data and released the
+// regions.
+func (s *Service) Remove(name string, version int) {
+	k := key{name, version}
+	sv := s.shard(k)
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.rpcs++
+	delete(sv.index, k)
+}
+
+// SubmitTask records a data-ready event: the in-transit task and its
+// data descriptors are pushed into the task queue. If a bucket is
+// already waiting, the task is handed over immediately (FCFS on both
+// sides). The assigned task id is returned.
+func (s *Service) SubmitTask(analysis string, step int, inputs []Descriptor) (int64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	s.nextID++
+	t := Task{ID: s.nextID, Analysis: analysis, Step: step, Inputs: inputs}
+	if len(s.waiting) > 0 {
+		ch := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		s.assigned++
+		s.mu.Unlock()
+		ch <- t
+		return t.ID, nil
+	}
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	return t.ID, nil
+}
+
+// BucketReady records a bucket-ready event and blocks until a task is
+// assigned or the service closes. Buckets are served strictly in the
+// order their requests arrived.
+func (s *Service) BucketReady() (Task, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Task{}, ErrClosed
+	}
+	if len(s.queue) > 0 {
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		s.assigned++
+		s.mu.Unlock()
+		return t, nil
+	}
+	ch := make(chan Task, 1)
+	s.waiting = append(s.waiting, ch)
+	s.mu.Unlock()
+	t, ok := <-ch
+	if !ok {
+		return Task{}, ErrClosed
+	}
+	return t, nil
+}
+
+// QueueDepth returns the number of tasks waiting for a bucket.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// FreeBuckets returns the number of buckets currently waiting for work.
+func (s *Service) FreeBuckets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiting)
+}
+
+// Assigned returns the total number of tasks handed to buckets.
+func (s *Service) Assigned() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.assigned
+}
+
+// Close shuts the task queue down: waiting buckets receive ErrClosed
+// and future submissions fail. Descriptor queries remain usable.
+func (s *Service) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.waiting {
+		close(ch)
+	}
+	s.waiting = nil
+}
+
+// ServerRPCs returns the per-shard RPC counts, exposing the hash
+// balance across servers.
+func (s *Service) ServerRPCs() []int64 {
+	out := make([]int64, len(s.servers))
+	for i, sv := range s.servers {
+		sv.mu.Lock()
+		out[i] = sv.rpcs
+		sv.mu.Unlock()
+	}
+	return out
+}

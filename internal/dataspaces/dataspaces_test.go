@@ -1,0 +1,246 @@
+package dataspaces
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"insitu/internal/dart"
+	"insitu/internal/grid"
+	"insitu/internal/netsim"
+)
+
+func newService(t *testing.T, servers int) *Service {
+	t.Helper()
+	f := dart.NewFabric(netsim.New(netsim.Gemini()))
+	s, err := New(f, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutQuery(t *testing.T) {
+	s := newService(t, 4)
+	d1 := Descriptor{Name: "subtree", Version: 3, Rank: 0,
+		Box: grid.NewBox(4, 4, 4)}
+	d2 := Descriptor{Name: "subtree", Version: 3, Rank: 1,
+		Box: grid.Box{Lo: [3]int{4, 0, 0}, Hi: [3]int{8, 4, 4}}}
+	s.Put(d1)
+	s.Put(d2)
+	got := s.Query("subtree", 3)
+	if len(got) != 2 {
+		t.Fatalf("want 2 descriptors, got %d", len(got))
+	}
+	if len(s.Query("subtree", 4)) != 0 {
+		t.Fatal("wrong version must return nothing")
+	}
+	if len(s.Query("other", 3)) != 0 {
+		t.Fatal("wrong name must return nothing")
+	}
+}
+
+func TestQueryBox(t *testing.T) {
+	s := newService(t, 2)
+	for i := 0; i < 4; i++ {
+		s.Put(Descriptor{Name: "T", Version: 1, Rank: i,
+			Box: grid.Box{Lo: [3]int{4 * i, 0, 0}, Hi: [3]int{4 * (i + 1), 4, 4}}})
+	}
+	hits := s.QueryBox("T", 1, grid.Box{Lo: [3]int{6, 0, 0}, Hi: [3]int{10, 4, 4}})
+	if len(hits) != 2 {
+		t.Fatalf("spatial query: want 2 hits, got %d", len(hits))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := newService(t, 2)
+	s.Put(Descriptor{Name: "T", Version: 1})
+	s.Remove("T", 1)
+	if len(s.Query("T", 1)) != 0 {
+		t.Fatal("descriptors must be gone after remove")
+	}
+}
+
+func TestTaskQueueFCFS(t *testing.T) {
+	s := newService(t, 1)
+	// Submit three tasks with no buckets waiting.
+	for step := 1; step <= 3; step++ {
+		if _, err := s.SubmitTask("topology", step, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.QueueDepth() != 3 {
+		t.Fatalf("queue depth: want 3, got %d", s.QueueDepth())
+	}
+	// Tasks come out in submission order.
+	for step := 1; step <= 3; step++ {
+		task, err := s.BucketReady()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Step != step {
+			t.Fatalf("FCFS violated: want step %d, got %d", step, task.Step)
+		}
+	}
+	if s.Assigned() != 3 {
+		t.Fatalf("assigned count: want 3, got %d", s.Assigned())
+	}
+}
+
+func TestBucketReadyBlocksUntilTask(t *testing.T) {
+	s := newService(t, 1)
+	got := make(chan Task, 1)
+	go func() {
+		task, err := s.BucketReady()
+		if err == nil {
+			got <- task
+		}
+	}()
+	// Give the bucket time to register as free.
+	for i := 0; i < 100 && s.FreeBuckets() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.FreeBuckets() != 1 {
+		t.Fatal("bucket should be on the free list")
+	}
+	if _, err := s.SubmitTask("stats", 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case task := <-got:
+		if task.Step != 9 {
+			t.Fatalf("wrong task delivered: %+v", task)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiting bucket never received the task")
+	}
+}
+
+func TestCloseUnblocksBuckets(t *testing.T) {
+	s := newService(t, 1)
+	errs := make(chan error, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.BucketReady()
+			errs <- err
+		}()
+	}
+	for i := 0; i < 100 && s.FreeBuckets() < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != ErrClosed {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	}
+	if _, err := s.SubmitTask("x", 1, nil); err != ErrClosed {
+		t.Fatalf("submit after close: want ErrClosed, got %v", err)
+	}
+	if _, err := s.BucketReady(); err != ErrClosed {
+		t.Fatalf("bucket-ready after close: want ErrClosed, got %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestServerSharding(t *testing.T) {
+	s := newService(t, 8)
+	// Many distinct keys should spread across shards.
+	for v := 0; v < 400; v++ {
+		s.Put(Descriptor{Name: fmt.Sprintf("var-%d", v%10), Version: v})
+	}
+	rpcs := s.ServerRPCs()
+	nonEmpty := 0
+	var total int64
+	for _, c := range rpcs {
+		if c > 0 {
+			nonEmpty++
+		}
+		total += c
+	}
+	if total != 400 {
+		t.Fatalf("rpc total: want 400, got %d", total)
+	}
+	if nonEmpty < 6 {
+		t.Fatalf("hashing should spread load over most of 8 servers, hit %d", nonEmpty)
+	}
+	// Balance: no server should hold more than half the traffic.
+	for i, c := range rpcs {
+		if c > 200 {
+			t.Fatalf("server %d is a hotspot with %d of 400 rpcs", i, c)
+		}
+	}
+}
+
+func TestSameKeySameShard(t *testing.T) {
+	s := newService(t, 8)
+	s.Put(Descriptor{Name: "T", Version: 5, Rank: 0})
+	s.Put(Descriptor{Name: "T", Version: 5, Rank: 1})
+	// Both descriptors must be retrievable together (same shard).
+	if got := s.Query("T", 5); len(got) != 2 {
+		t.Fatalf("want 2, got %d", len(got))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	f := dart.NewFabric(netsim.New(netsim.Gemini()))
+	if _, err := New(f, 0); err == nil {
+		t.Fatal("zero servers must error")
+	}
+}
+
+func TestNilFabricAllowed(t *testing.T) {
+	s, err := New(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(Descriptor{Name: "x", Version: 1}) // must not panic on rpcCost
+	if len(s.Query("x", 1)) != 1 {
+		t.Fatal("query failed without fabric")
+	}
+}
+
+func TestConcurrentSubmitAndPull(t *testing.T) {
+	s := newService(t, 4)
+	const tasks = 200
+	var wg sync.WaitGroup
+	seen := make(chan int64, tasks)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, err := s.BucketReady()
+				if err != nil {
+					return
+				}
+				seen <- task.ID
+			}
+		}()
+	}
+	for i := 0; i < tasks; i++ {
+		if _, err := s.SubmitTask("a", i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(map[int64]bool)
+	for i := 0; i < tasks; i++ {
+		select {
+		case id := <-seen:
+			if got[id] {
+				t.Fatalf("task %d delivered twice", id)
+			}
+			got[id] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled after %d tasks", i)
+		}
+	}
+	s.Close()
+	wg.Wait()
+}

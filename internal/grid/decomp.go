@@ -1,0 +1,113 @@
+package grid
+
+import "fmt"
+
+// Decomp is a regular Cartesian decomposition of a global box into
+// Px x Py x Pz blocks, one per rank. Ranks are numbered x-fastest,
+// matching the paper's core layouts (e.g. 16x28x10 = 4480 simulation
+// cores each owning a 100x49x43 region).
+type Decomp struct {
+	Global Box
+	P      [3]int // number of blocks per dimension
+}
+
+// NewDecomp validates and constructs a decomposition. Every dimension
+// must split evenly or nearly evenly; blocks are balanced to within one
+// grid plane.
+func NewDecomp(global Box, px, py, pz int) (*Decomp, error) {
+	if px < 1 || py < 1 || pz < 1 {
+		return nil, fmt.Errorf("grid: invalid decomposition %dx%dx%d", px, py, pz)
+	}
+	d := global.Dims()
+	if px > d[0] || py > d[1] || pz > d[2] {
+		return nil, fmt.Errorf("grid: decomposition %dx%dx%d exceeds global dims %v", px, py, pz, d)
+	}
+	return &Decomp{Global: global, P: [3]int{px, py, pz}}, nil
+}
+
+// Ranks returns the total number of blocks.
+func (dc *Decomp) Ranks() int { return dc.P[0] * dc.P[1] * dc.P[2] }
+
+// Coords maps a rank to its block coordinates.
+func (dc *Decomp) Coords(rank int) [3]int {
+	return [3]int{rank % dc.P[0], (rank / dc.P[0]) % dc.P[1], rank / (dc.P[0] * dc.P[1])}
+}
+
+// Rank maps block coordinates to a rank, or -1 if out of range.
+func (dc *Decomp) Rank(cx, cy, cz int) int {
+	if cx < 0 || cx >= dc.P[0] || cy < 0 || cy >= dc.P[1] || cz < 0 || cz >= dc.P[2] {
+		return -1
+	}
+	return cx + dc.P[0]*(cy+dc.P[1]*cz)
+}
+
+// Block returns the sub-box owned by rank. Remainder points are
+// distributed to the leading blocks so sizes differ by at most one
+// plane per dimension.
+func (dc *Decomp) Block(rank int) Box {
+	c := dc.Coords(rank)
+	var b Box
+	for d := 0; d < 3; d++ {
+		n := dc.Global.Hi[d] - dc.Global.Lo[d]
+		q, r := n/dc.P[d], n%dc.P[d]
+		lo := c[d]*q + min(c[d], r)
+		sz := q
+		if c[d] < r {
+			sz++
+		}
+		b.Lo[d] = dc.Global.Lo[d] + lo
+		b.Hi[d] = b.Lo[d] + sz
+	}
+	return b
+}
+
+// Owner returns the rank owning global point (i,j,k), or -1 when the
+// point is outside the global box.
+func (dc *Decomp) Owner(i, j, k int) int {
+	if !dc.Global.Contains(i, j, k) {
+		return -1
+	}
+	p := [3]int{i, j, k}
+	var c [3]int
+	for d := 0; d < 3; d++ {
+		n := dc.Global.Hi[d] - dc.Global.Lo[d]
+		q, r := n/dc.P[d], n%dc.P[d]
+		x := p[d] - dc.Global.Lo[d]
+		// First r blocks have size q+1.
+		if x < r*(q+1) {
+			c[d] = x / (q + 1)
+		} else {
+			c[d] = r + (x-r*(q+1))/q
+		}
+	}
+	return dc.Rank(c[0], c[1], c[2])
+}
+
+// Neighbors returns the ranks of the up-to-26 face/edge/corner
+// neighbors of rank (6 in each axis direction plus diagonals),
+// excluding out-of-range blocks.
+func (dc *Decomp) Neighbors(rank int) []int {
+	c := dc.Coords(rank)
+	var out []int
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				if n := dc.Rank(c[0]+dx, c[1]+dy, c[2]+dz); n >= 0 {
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FaceNeighbor returns the rank adjacent across the given axis
+// (0,1,2) in direction dir (-1 or +1), or -1 at the domain boundary.
+func (dc *Decomp) FaceNeighbor(rank, axis, dir int) int {
+	c := dc.Coords(rank)
+	c[axis] += dir
+	return dc.Rank(c[0], c[1], c[2])
+}

@@ -1,0 +1,224 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Field is a named scalar field sampled on the points of a Box.
+// Data is linearized x-fastest. All simulation variables are float64,
+// matching the paper's 8-byte doubles.
+type Field struct {
+	Name string
+	Box  Box
+	Data []float64
+}
+
+// NewField allocates a zero-initialized field covering box.
+func NewField(name string, box Box) *Field {
+	return &Field{Name: name, Box: box, Data: make([]float64, box.Size())}
+}
+
+// At returns the value at global point (i,j,k), which must lie inside
+// the field's box.
+func (f *Field) At(i, j, k int) float64 { return f.Data[f.Box.Index(i, j, k)] }
+
+// Set stores v at global point (i,j,k).
+func (f *Field) Set(i, j, k int, v float64) { f.Data[f.Box.Index(i, j, k)] = v }
+
+// Fill sets every point to v.
+func (f *Field) Fill(v float64) {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+}
+
+// Clone returns a deep copy of the field.
+func (f *Field) Clone() *Field {
+	g := &Field{Name: f.Name, Box: f.Box, Data: make([]float64, len(f.Data))}
+	copy(g.Data, f.Data)
+	return g
+}
+
+// Extract copies the sub-box sub (which must be contained in f.Box)
+// into a newly allocated field.
+func (f *Field) Extract(sub Box) *Field {
+	if !f.Box.ContainsBox(sub) {
+		panic(fmt.Sprintf("grid: extract %v outside field box %v", sub, f.Box))
+	}
+	g := NewField(f.Name, sub)
+	for k := sub.Lo[2]; k < sub.Hi[2]; k++ {
+		for j := sub.Lo[1]; j < sub.Hi[1]; j++ {
+			srcOff := f.Box.Index(sub.Lo[0], j, k)
+			dstOff := sub.Index(sub.Lo[0], j, k)
+			copy(g.Data[dstOff:dstOff+sub.Hi[0]-sub.Lo[0]], f.Data[srcOff:srcOff+sub.Hi[0]-sub.Lo[0]])
+		}
+	}
+	return g
+}
+
+// Paste copies the overlap of src into f.
+func (f *Field) Paste(src *Field) {
+	ov := f.Box.Intersect(src.Box)
+	for k := ov.Lo[2]; k < ov.Hi[2]; k++ {
+		for j := ov.Lo[1]; j < ov.Hi[1]; j++ {
+			srcOff := src.Box.Index(ov.Lo[0], j, k)
+			dstOff := f.Box.Index(ov.Lo[0], j, k)
+			copy(f.Data[dstOff:dstOff+ov.Hi[0]-ov.Lo[0]], src.Data[srcOff:srcOff+ov.Hi[0]-ov.Lo[0]])
+		}
+	}
+}
+
+// MinMax returns the extrema of the field. An empty field returns
+// (+Inf, -Inf).
+func (f *Field) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range f.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return
+}
+
+// Downsample returns the field restricted to every factor-th grid point
+// in each dimension (the paper's hybrid visualization down-samples at
+// every 8th grid point in-situ). The resulting box has coordinates in
+// the down-sampled index space: point (i,j,k) of the result corresponds
+// to point (i*factor, j*factor, k*factor) of the original global grid.
+func (f *Field) Downsample(factor int) *Field {
+	if factor < 1 {
+		panic("grid: downsample factor must be >= 1")
+	}
+	var sub Box
+	for d := 0; d < 3; d++ {
+		sub.Lo[d] = ceilDiv(f.Box.Lo[d], factor)
+		sub.Hi[d] = ceilDiv(f.Box.Hi[d], factor)
+	}
+	g := NewField(f.Name, sub)
+	for k := sub.Lo[2]; k < sub.Hi[2]; k++ {
+		for j := sub.Lo[1]; j < sub.Hi[1]; j++ {
+			for i := sub.Lo[0]; i < sub.Hi[0]; i++ {
+				g.Set(i, j, k, f.At(i*factor, j*factor, k*factor))
+			}
+		}
+	}
+	return g
+}
+
+// Sample returns the trilinearly interpolated value at the continuous
+// position (x,y,z) in the field's global index space. Positions outside
+// the box are clamped to it.
+func (f *Field) Sample(x, y, z float64) float64 {
+	b := f.Box
+	x = clampF(x, float64(b.Lo[0]), float64(b.Hi[0]-1))
+	y = clampF(y, float64(b.Lo[1]), float64(b.Hi[1]-1))
+	z = clampF(z, float64(b.Lo[2]), float64(b.Hi[2]-1))
+	i0, j0, k0 := int(x), int(y), int(z)
+	i1, j1, k1 := min(i0+1, b.Hi[0]-1), min(j0+1, b.Hi[1]-1), min(k0+1, b.Hi[2]-1)
+	fx, fy, fz := x-float64(i0), y-float64(j0), z-float64(k0)
+	c000 := f.At(i0, j0, k0)
+	c100 := f.At(i1, j0, k0)
+	c010 := f.At(i0, j1, k0)
+	c110 := f.At(i1, j1, k0)
+	c001 := f.At(i0, j0, k1)
+	c101 := f.At(i1, j0, k1)
+	c011 := f.At(i0, j1, k1)
+	c111 := f.At(i1, j1, k1)
+	c00 := c000 + fx*(c100-c000)
+	c10 := c010 + fx*(c110-c010)
+	c01 := c001 + fx*(c101-c001)
+	c11 := c011 + fx*(c111-c011)
+	c0 := c00 + fy*(c10-c00)
+	c1 := c01 + fy*(c11-c01)
+	return c0 + fz*(c1-c0)
+}
+
+// Bytes returns the in-memory size of the field payload in bytes
+// (8 bytes per point), used for data-movement accounting.
+func (f *Field) Bytes() int { return 8 * len(f.Data) }
+
+// Marshal serializes the field (name, box, data) into a compact binary
+// form suitable for DART transfers and BP files.
+func (f *Field) Marshal() []byte {
+	var buf bytes.Buffer
+	name := []byte(f.Name)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(name)))
+	buf.Write(hdr[:])
+	buf.Write(name)
+	var b8 [8]byte
+	for d := 0; d < 3; d++ {
+		binary.LittleEndian.PutUint64(b8[:], uint64(int64(f.Box.Lo[d])))
+		buf.Write(b8[:])
+	}
+	for d := 0; d < 3; d++ {
+		binary.LittleEndian.PutUint64(b8[:], uint64(int64(f.Box.Hi[d])))
+		buf.Write(b8[:])
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(f.Data)))
+	buf.Write(b8[:])
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		buf.Write(b8[:])
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalField reconstructs a field from Marshal's output.
+func UnmarshalField(p []byte) (*Field, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("grid: field payload too short (%d bytes)", len(p))
+	}
+	nameLen := int(binary.LittleEndian.Uint32(p[:4]))
+	p = p[4:]
+	if len(p) < nameLen+7*8 {
+		return nil, fmt.Errorf("grid: truncated field header")
+	}
+	name := string(p[:nameLen])
+	p = p[nameLen:]
+	var box Box
+	for d := 0; d < 3; d++ {
+		box.Lo[d] = int(int64(binary.LittleEndian.Uint64(p[:8])))
+		p = p[8:]
+	}
+	for d := 0; d < 3; d++ {
+		box.Hi[d] = int(int64(binary.LittleEndian.Uint64(p[:8])))
+		p = p[8:]
+	}
+	n := int(binary.LittleEndian.Uint64(p[:8]))
+	p = p[8:]
+	if n != box.Size() {
+		return nil, fmt.Errorf("grid: field payload count %d does not match box %v", n, box)
+	}
+	if len(p) < 8*n {
+		return nil, fmt.Errorf("grid: truncated field data: want %d bytes, have %d", 8*n, len(p))
+	}
+	f := &Field{Name: name, Box: box, Data: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		f.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return f, nil
+}
+
+func ceilDiv(a, b int) int {
+	if a >= 0 {
+		return (a + b - 1) / b
+	}
+	return -((-a) / b)
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,140 @@
+package mergetree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"insitu/internal/grid"
+)
+
+// hierSubtrees builds the per-rank subtrees for a field/decomposition.
+func hierSubtrees(t *testing.T, f *grid.Field, px, py, pz int) []*Subtree {
+	t.Helper()
+	dc, err := grid.NewDecomp(f.Box, px, py, pz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subtrees []*Subtree
+	for r := 0; r < dc.Ranks(); r++ {
+		owned := dc.Block(r)
+		ext := owned.Grow(1).Intersect(f.Box)
+		st, err := LocalSubtree(f.Extract(ext), f.Box, owned, r, KeepSharedBoundary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subtrees = append(subtrees, st)
+	}
+	return subtrees
+}
+
+func TestGlueHierarchicalMatchesSerial(t *testing.T) {
+	cases := []struct {
+		nx, ny, nz, px, py, pz, workers int
+	}{
+		{16, 12, 8, 2, 2, 2, 1},
+		{16, 12, 8, 2, 2, 2, 4},
+		{20, 15, 6, 4, 3, 2, 4},
+		{13, 9, 5, 3, 2, 1, 2}, // uneven blocks, odd counts
+		{10, 10, 1, 5, 2, 1, 3},
+	}
+	for ci, c := range cases {
+		b := grid.NewBox(c.nx, c.ny, c.nz)
+		f := smoothField(b, float64(ci)*0.7)
+		serial := criticalReduce(FromField(f, b))
+		subtrees := hierSubtrees(t, f, c.px, c.py, c.pz)
+		got, err := GlueHierarchical(subtrees, b, c.workers)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if !Equal(serial, criticalReduce(got)) {
+			t.Fatalf("case %d: hierarchical glue differs from serial", ci)
+		}
+	}
+}
+
+func TestGlueHierarchicalProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny, nz := 4+rng.Intn(10), 4+rng.Intn(8), 1+rng.Intn(4)
+		b := grid.NewBox(nx, ny, nz)
+		f := randomField(rng, b)
+		px := 1 + rng.Intn(min(3, nx))
+		py := 1 + rng.Intn(min(3, ny))
+		pz := 1 + rng.Intn(min(2, nz))
+		dc, err := grid.NewDecomp(b, px, py, pz)
+		if err != nil {
+			return false
+		}
+		var subtrees []*Subtree
+		for r := 0; r < dc.Ranks(); r++ {
+			owned := dc.Block(r)
+			ext := owned.Grow(1).Intersect(b)
+			st, err := LocalSubtree(f.Extract(ext), b, owned, r, KeepSharedBoundary)
+			if err != nil {
+				return false
+			}
+			subtrees = append(subtrees, st)
+		}
+		got, err := GlueHierarchical(subtrees, b, 1+int(seed%4))
+		if err != nil {
+			return false
+		}
+		serial := criticalReduce(FromField(f, b))
+		return Equal(serial, criticalReduce(got))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlueHierarchicalSingleBlock(t *testing.T) {
+	b := grid.NewBox(8, 6, 4)
+	f := smoothField(b, 0.3)
+	subtrees := hierSubtrees(t, f, 1, 1, 1)
+	got, err := GlueHierarchical(subtrees, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := criticalReduce(FromField(f, b))
+	if !Equal(serial, criticalReduce(got)) {
+		t.Fatal("single-block hierarchical glue differs from serial")
+	}
+}
+
+func TestGlueHierarchicalErrors(t *testing.T) {
+	if _, err := GlueHierarchical(nil, grid.NewBox(4, 4, 4), 2); err == nil {
+		t.Fatal("empty input must error")
+	}
+	// Non-lattice regions cannot converge.
+	b := grid.NewBox(8, 8, 1)
+	f := smoothField(b, 0)
+	stA, err := LocalSubtree(f.Extract(grid.NewBox(5, 8, 1)), b, grid.NewBox(4, 8, 1), 0, KeepSharedBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second region that overlaps rather than abuts.
+	ext := grid.Box{Lo: [3]int{2, 0, 0}, Hi: [3]int{8, 8, 1}}
+	stB, err := LocalSubtree(f.Extract(ext), b, grid.Box{Lo: [3]int{3, 0, 0}, Hi: [3]int{8, 8, 1}}, 1, KeepSharedBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GlueHierarchical([]*Subtree{stA, stB}, b, 1); err == nil {
+		t.Fatal("non-lattice regions must error")
+	}
+}
+
+func TestUnionIsBox(t *testing.T) {
+	a := grid.NewBox(4, 4, 4)
+	bx := grid.Box{Lo: [3]int{4, 0, 0}, Hi: [3]int{8, 4, 4}}
+	if !unionIsBox(a, bx, 0) {
+		t.Fatal("abutting x-neighbors must union to a box")
+	}
+	if unionIsBox(a, bx, 1) {
+		t.Fatal("wrong axis must not match")
+	}
+	off := grid.Box{Lo: [3]int{4, 1, 0}, Hi: [3]int{8, 5, 4}}
+	if unionIsBox(a, off, 0) {
+		t.Fatal("mismatched cross sections must not pair")
+	}
+}

@@ -1,0 +1,101 @@
+package mergetree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"insitu/internal/grid"
+)
+
+// Wire format of a reduced subtree, the intermediate data the hybrid
+// topology algorithm ships from the in-situ to the in-transit stage.
+// Layout (little endian):
+//
+//	u32 rank
+//	6 x i64 block box (lo, hi)
+//	u64 vertex count, then (i64 id, f64 value, u32 degree) per vertex
+//	u64 edge count, then (i64 hi, i64 lo) per edge
+//
+// At 16 bytes per vertex and edge, a reduced subtree is orders of
+// magnitude smaller than the block's raw field — the data reduction
+// the hybrid formulation relies on (87 MB total vs 98.5 GB raw in the
+// paper's run).
+
+// Marshal serializes the subtree.
+func (st *Subtree) Marshal() []byte {
+	var buf bytes.Buffer
+	var b8 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		buf.Write(b8[:])
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(st.Rank))
+	buf.Write(b4[:])
+	for d := 0; d < 3; d++ {
+		put(uint64(int64(st.Block.Lo[d])))
+	}
+	for d := 0; d < 3; d++ {
+		put(uint64(int64(st.Block.Hi[d])))
+	}
+	put(uint64(len(st.Verts)))
+	var b4v [4]byte
+	for _, v := range st.Verts {
+		put(uint64(v.ID))
+		put(math.Float64bits(v.Value))
+		binary.LittleEndian.PutUint32(b4v[:], uint32(v.Degree))
+		buf.Write(b4v[:])
+	}
+	put(uint64(len(st.Edges)))
+	for _, e := range st.Edges {
+		put(uint64(e.Hi))
+		put(uint64(e.Lo))
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalSubtree reconstructs a subtree from Marshal's output.
+func UnmarshalSubtree(p []byte) (*Subtree, error) {
+	if len(p) < 4+7*8 {
+		return nil, fmt.Errorf("mergetree: subtree payload too short (%d bytes)", len(p))
+	}
+	st := &Subtree{}
+	st.Rank = int(binary.LittleEndian.Uint32(p[:4]))
+	p = p[4:]
+	var box grid.Box
+	for d := 0; d < 3; d++ {
+		box.Lo[d] = int(int64(binary.LittleEndian.Uint64(p[:8])))
+		p = p[8:]
+	}
+	for d := 0; d < 3; d++ {
+		box.Hi[d] = int(int64(binary.LittleEndian.Uint64(p[:8])))
+		p = p[8:]
+	}
+	st.Block = box
+	nv := int(binary.LittleEndian.Uint64(p[:8]))
+	p = p[8:]
+	if len(p) < 20*nv+8 {
+		return nil, fmt.Errorf("mergetree: truncated subtree vertices")
+	}
+	st.Verts = make([]SubtreeVert, nv)
+	for i := 0; i < nv; i++ {
+		st.Verts[i].ID = int64(binary.LittleEndian.Uint64(p[:8]))
+		st.Verts[i].Value = math.Float64frombits(binary.LittleEndian.Uint64(p[8:16]))
+		st.Verts[i].Degree = int(binary.LittleEndian.Uint32(p[16:20]))
+		p = p[20:]
+	}
+	ne := int(binary.LittleEndian.Uint64(p[:8]))
+	p = p[8:]
+	if len(p) < 16*ne {
+		return nil, fmt.Errorf("mergetree: truncated subtree edges")
+	}
+	st.Edges = make([]Arc, ne)
+	for i := 0; i < ne; i++ {
+		st.Edges[i].Hi = int64(binary.LittleEndian.Uint64(p[:8]))
+		st.Edges[i].Lo = int64(binary.LittleEndian.Uint64(p[8:16]))
+		p = p[16:]
+	}
+	return st, nil
+}

@@ -1,0 +1,215 @@
+package mergetree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"insitu/internal/grid"
+)
+
+func TestSegmentTiny(t *testing.T) {
+	f, b := threePeakField() // 1 5 2 4 1 1.5 1 0
+	tr := FromField(f, b)
+	seg := Segment(tr, 3)
+	// Above threshold 3: vertices 1 (val 5) and 3 (val 4), separate
+	// components.
+	if len(seg.Labels) != 2 {
+		t.Fatalf("want 2 labeled vertices, got %d", len(seg.Labels))
+	}
+	if seg.Labels[1] == seg.Labels[3] {
+		t.Fatal("the two peaks must be distinct components at threshold 3")
+	}
+	// At threshold 1.5 the first two peaks join (saddle at 2 >= 1.5).
+	seg2 := Segment(tr, 1.5)
+	if seg2.Labels[1] != seg2.Labels[3] {
+		t.Fatal("peaks must merge at threshold 1.5")
+	}
+	if seg2.Labels[5] == seg2.Labels[1] {
+		t.Fatal("third peak is separated by the val-1 valley at threshold 1.5")
+	}
+}
+
+func TestSegmentMatchesSegmentField(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		b := grid.NewBox(3+rng.Intn(10), 3+rng.Intn(8), 1+rng.Intn(4))
+		f := randomField(rng, b)
+		tr := FromField(f, b)
+		threshold := 0.2 + 0.6*rng.Float64()
+		a := Segment(tr, threshold)
+		c := SegmentField(f, b, threshold)
+		if len(a.Labels) != len(c.Labels) {
+			t.Fatalf("trial %d: label counts differ: %d vs %d", trial, len(a.Labels), len(c.Labels))
+		}
+		for id, la := range a.Labels {
+			if lc, ok := c.Labels[id]; !ok || lc != la {
+				t.Fatalf("trial %d: vertex %d labeled %d vs %d", trial, id, la, lc)
+			}
+		}
+	}
+}
+
+func TestSegmentationFeatures(t *testing.T) {
+	f, b := threePeakField()
+	tr := FromField(f, b)
+	seg := Segment(tr, 3)
+	feats := seg.Features(tr)
+	if len(feats) != 2 {
+		t.Fatalf("want 2 features, got %d", len(feats))
+	}
+	// Both components are single vertices here.
+	for _, ft := range feats {
+		if ft.Size != 1 {
+			t.Fatalf("feature %d should have size 1, got %d", ft.Label, ft.Size)
+		}
+	}
+	if feats[0].MaxValue != 5 && feats[1].MaxValue != 5 {
+		t.Fatal("one feature must peak at 5")
+	}
+}
+
+// blobField places a Gaussian blob at the given center.
+func blobField(b grid.Box, cx, cy float64) *grid.Field {
+	f := grid.NewField("blob", b)
+	for idx := range f.Data {
+		i, j, _ := b.Point(idx)
+		dx, dy := float64(i)-cx, float64(j)-cy
+		f.Data[idx] = math.Exp(-(dx*dx + dy*dy) / 8)
+	}
+	return f
+}
+
+// TestTrackMovingBlob reproduces the Fig. 1 scenario in miniature: a
+// feature moving one grid point per step is trackable via overlap at
+// cadence 1, and lost at a cadence larger than its footprint.
+func TestTrackMovingBlob(t *testing.T) {
+	b := grid.NewBox(40, 12, 1)
+	var segs []*Segmentation
+	for s := 0; s < 12; s++ {
+		f := blobField(b, 4+float64(s)*2, 6)
+		segs = append(segs, SegmentField(f, b, 0.5))
+	}
+	// Consecutive steps overlap.
+	for s := 1; s < len(segs); s++ {
+		if len(Track(segs[s-1], segs[s])) == 0 {
+			t.Fatalf("step %d: lost the blob at cadence 1", s)
+		}
+	}
+	chain := TrackChain(segs, firstLabel(segs[0]))
+	if len(chain) != len(segs) {
+		t.Fatalf("chain should span all %d steps, got %d", len(segs), len(chain))
+	}
+	// At cadence 4 (blob moves 8 points, footprint ~ +/-3), overlap is
+	// lost: connectivity indicators vanish, as the paper's Fig. 1
+	// caption describes for coarse output cadences.
+	if ms := Track(segs[0], segs[4]); len(ms) != 0 {
+		t.Fatalf("expected no overlap at cadence 4, got %d matches", len(ms))
+	}
+}
+
+func firstLabel(s *Segmentation) int64 {
+	for _, l := range s.Labels {
+		return l
+	}
+	return -1
+}
+
+func TestFeatureMoments(t *testing.T) {
+	f, b := threePeakField()
+	tr := FromField(f, b)
+	seg := Segment(tr, 1.5) // two components: {0..5-ish} and peak 5
+	// Second variable: value = 10 * index.
+	g := grid.NewField("w", b)
+	for i := 0; i < 8; i++ {
+		g.Set(i, 0, 0, float64(10*i))
+	}
+	fm := FeatureMoments(seg, g, b)
+	if len(fm) != 2 {
+		t.Fatalf("want stats for 2 features, got %d", len(fm))
+	}
+	total := int64(0)
+	for _, m := range fm {
+		total += m.N
+	}
+	if total != int64(len(seg.Labels)) {
+		t.Fatalf("feature stats cover %d points, segmentation has %d", total, len(seg.Labels))
+	}
+}
+
+// TestSegmentationPartitionProperty checks with testing/quick that the
+// tree segmentation always partitions exactly the vertices at or above
+// the threshold.
+func TestSegmentationPartitionProperty(t *testing.T) {
+	prop := func(seed int64, t8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := grid.NewBox(2+rng.Intn(8), 2+rng.Intn(8), 1+rng.Intn(3))
+		f := randomField(rng, b)
+		threshold := float64(t8) / 255
+		tr := FromField(f, b)
+		seg := Segment(tr, threshold)
+		want := 0
+		for _, v := range f.Data {
+			if v >= threshold {
+				want++
+			}
+		}
+		if len(seg.Labels) != want {
+			return false
+		}
+		// Every label must name a member vertex of its own component
+		// whose value is >= threshold.
+		for _, l := range seg.Labels {
+			n := tr.Node(l)
+			if n == nil || n.Value < threshold {
+				return false
+			}
+			if seg.Labels[l] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedProperty is the flagship property test: for random
+// fields, decompositions and thresholds, the hybrid in-situ/in-transit
+// pipeline reproduces the serial merge tree exactly.
+func TestDistributedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny, nz := 4+rng.Intn(10), 4+rng.Intn(8), 1+rng.Intn(5)
+		b := grid.NewBox(nx, ny, nz)
+		f := randomField(rng, b)
+		px := 1 + rng.Intn(min(3, nx))
+		py := 1 + rng.Intn(min(3, ny))
+		pz := 1 + rng.Intn(min(2, nz))
+		dc, err := grid.NewDecomp(b, px, py, pz)
+		if err != nil {
+			return false
+		}
+		var subtrees []*Subtree
+		for r := 0; r < dc.Ranks(); r++ {
+			owned := dc.Block(r)
+			ext := owned.Grow(1).Intersect(b)
+			st, err := LocalSubtree(f.Extract(ext), b, owned, r, KeepSharedBoundary)
+			if err != nil {
+				return false
+			}
+			subtrees = append(subtrees, st)
+		}
+		glued, _, err := Glue(subtrees, GlueOptions{Evict: seed%2 == 0, SweepEvery: 32})
+		if err != nil {
+			return false
+		}
+		serial := criticalReduce(FromField(f, b))
+		return Equal(serial, criticalReduce(glued))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package mergetree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"insitu/internal/grid"
+)
+
+// TestSinkRoundTrip: eviction records written to a sink stream and
+// read back must be identical.
+func TestSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewRecordSink(&buf)
+	want := []EvictRecord{
+		{ID: 1, Value: 3.5, Down: 2},
+		{ID: 2, Value: 1.25, Down: -1},
+		{ID: 99, Value: -7, Down: 1},
+	}
+	for _, r := range want {
+		s.Write(r)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count: want 3, got %d", s.Count())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("want %d records, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadRecordsCorrupt(t *testing.T) {
+	if _, err := ReadRecords(strings.NewReader("short")); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+// TestDiskBackedStreamingGlue runs the paper's full in-transit disk
+// path: glue with eviction records streaming to a "file", drain the
+// residue, and reconstruct the exact global merge tree offline from
+// the record stream alone.
+func TestDiskBackedStreamingGlue(t *testing.T) {
+	b := grid.NewBox(18, 12, 6)
+	f := smoothField(b, 0.9)
+	subtrees := hierSubtrees(t, f, 3, 2, 1)
+
+	var disk bytes.Buffer
+	sink := NewRecordSink(&disk)
+	builder := NewBuilder(WithEviction(), WithSink(sink.Write))
+
+	// Drive the sorted-edge protocol by hand (as Glue does), with
+	// interleaved lazy declarations per block.
+	type cursor struct {
+		st   *Subtree
+		vals map[int64]float64
+		pos  int
+		vpos int
+	}
+	var cursors []*cursor
+	for _, st := range subtrees {
+		vals := make(map[int64]float64, len(st.Verts))
+		for _, v := range st.Verts {
+			vals[v.ID] = v.Value
+		}
+		cursors = append(cursors, &cursor{st: st, vals: vals})
+	}
+	live := 0
+	for _, c := range cursors {
+		if len(c.st.Edges) > 0 {
+			live++
+		}
+	}
+	for live > 0 {
+		var best *cursor
+		var bv float64
+		var bi int64
+		for _, c := range cursors {
+			if c.pos >= len(c.st.Edges) {
+				continue
+			}
+			e := c.st.Edges[c.pos]
+			v, id := c.vals[e.Lo], e.Lo
+			if best == nil || Above(v, id, bv, bi) {
+				best, bv, bi = c, v, id
+			}
+		}
+		for _, c := range cursors {
+			for c.vpos < len(c.st.Verts) {
+				v := c.st.Verts[c.vpos]
+				if Above(bv, bi, v.Value, v.ID) {
+					break
+				}
+				if err := builder.DeclareVertex(v.ID, v.Value, v.Degree); err != nil {
+					t.Fatal(err)
+				}
+				c.vpos++
+			}
+		}
+		e := best.st.Edges[best.pos]
+		if err := builder.AddEdge(e.Hi, e.Lo); err != nil {
+			t.Fatal(err)
+		}
+		best.pos++
+		if best.pos == len(best.st.Edges) {
+			live--
+		}
+		builder.SetWatermark(bv, bi)
+	}
+	for _, c := range cursors {
+		for ; c.vpos < len(c.st.Verts); c.vpos++ {
+			v := c.st.Verts[c.vpos]
+			if err := builder.DeclareVertex(v.ID, v.Value, v.Degree); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if builder.Stats().Evicted == 0 {
+		t.Fatal("expected evictions to flow to the sink")
+	}
+	if err := builder.DrainToSink(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline reconstruction from "disk".
+	records, err := ReadRecords(&disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := TreeFromRecords(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := criticalReduce(FromField(f, b))
+	if !Equal(serial, criticalReduce(tree)) {
+		t.Fatal("disk-reconstructed tree differs from serial merge tree")
+	}
+}
+
+func TestDrainToSinkValidation(t *testing.T) {
+	b := NewBuilder()
+	if err := b.DrainToSink(); err == nil {
+		t.Fatal("DrainToSink without a sink must error")
+	}
+	sunk := NewBuilder(WithSink(func(EvictRecord) {}))
+	if err := sunk.DeclareVertex(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sunk.DrainToSink(); err == nil {
+		t.Fatal("unprocessed edges must block the drain")
+	}
+}
+
+func TestTreeFromRecordsErrors(t *testing.T) {
+	if _, err := TreeFromRecords([]EvictRecord{{ID: 1, Down: 9}}); err == nil {
+		t.Fatal("missing down target must error")
+	}
+	if _, err := TreeFromRecords([]EvictRecord{{ID: 1, Down: -1}, {ID: 1, Down: -1}}); err == nil {
+		t.Fatal("duplicate records must error")
+	}
+	tr, err := TreeFromRecords([]EvictRecord{{ID: 2, Value: 5, Down: 1}, {ID: 1, Value: 3, Down: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].ID != 1 || !tr.Nodes[2].IsMax() {
+		t.Fatal("two-record tree malformed")
+	}
+}

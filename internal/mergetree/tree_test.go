@@ -1,0 +1,404 @@
+package mergetree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"insitu/internal/grid"
+)
+
+// tinyGraph builds the 4-vertex example: maxima a(id0,val5) and
+// b(id1,val4) merge at c(id2,val3), root d(id3,val2).
+func tinyGraph() (map[int64]float64, [][2]int64) {
+	values := map[int64]float64{0: 5, 1: 4, 2: 3, 3: 2}
+	edges := [][2]int64{{0, 2}, {1, 2}, {2, 3}}
+	return values, edges
+}
+
+func TestFromGraphTiny(t *testing.T) {
+	values, edges := tinyGraph()
+	tr, err := FromGraph(values, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 4 {
+		t.Fatalf("want 4 nodes, got %d", len(tr.Nodes))
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].ID != 3 {
+		t.Fatalf("want root id 3, got %+v", tr.Roots)
+	}
+	c := tr.Node(2)
+	if !c.IsSaddle() || len(c.Ups) != 2 {
+		t.Fatalf("vertex 2 should be a saddle with 2 ups, got %d ups", len(c.Ups))
+	}
+	for _, id := range []int64{0, 1} {
+		n := tr.Node(id)
+		if !n.IsMax() {
+			t.Errorf("vertex %d should be a maximum", id)
+		}
+		if n.Down != c {
+			t.Errorf("vertex %d should point down to 2", id)
+		}
+	}
+	if c.Down != tr.Node(3) {
+		t.Errorf("saddle should point down to root")
+	}
+}
+
+func TestFromGraphDisconnected(t *testing.T) {
+	values := map[int64]float64{0: 5, 1: 4, 2: 3, 3: 2}
+	edges := [][2]int64{{0, 1}, {2, 3}}
+	tr, err := FromGraph(values, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Roots) != 2 {
+		t.Fatalf("want 2 roots for disconnected graph, got %d", len(tr.Roots))
+	}
+}
+
+func TestFromGraphUndeclaredVertex(t *testing.T) {
+	if _, err := FromGraph(map[int64]float64{0: 1}, [][2]int64{{0, 9}}); err == nil {
+		t.Fatal("want error for edge referencing undeclared vertex")
+	}
+}
+
+// TestFromField2D checks the Fig. 3 style 2-D example: two hills
+// merging at a saddle.
+func TestFromField2D(t *testing.T) {
+	g := grid.NewBox(5, 1, 1)
+	f := grid.NewField("f", g)
+	// Profile: 1 5 2 4 1  -> maxima at x=1 (5) and x=3 (4), saddle at
+	// x=2 (2), minima at the ends.
+	for i, v := range []float64{1, 5, 2, 4, 1} {
+		f.Set(i, 0, 0, v)
+	}
+	tr := FromField(f, g)
+	maxima := tr.Maxima()
+	if len(maxima) != 2 {
+		t.Fatalf("want 2 maxima, got %d", len(maxima))
+	}
+	if maxima[0].Value != 5 || maxima[1].Value != 4 {
+		t.Fatalf("maxima values wrong: %v %v", maxima[0].Value, maxima[1].Value)
+	}
+	saddles := tr.Saddles()
+	if len(saddles) != 1 || saddles[0].Value != 2 {
+		t.Fatalf("want single saddle at value 2, got %+v", saddles)
+	}
+	if len(tr.Roots) != 1 {
+		t.Fatalf("want single root, got %d", len(tr.Roots))
+	}
+	// Root is the global minimum: value 1, and by the id tie-break the
+	// later of the two 1s processed... both have value 1; the sweep
+	// order puts the smaller id first, so the root (last processed) is
+	// the larger id.
+	if tr.Roots[0].Value != 1 {
+		t.Fatalf("root value should be 1, got %g", tr.Roots[0].Value)
+	}
+}
+
+// randomField builds a deterministic pseudo-random field over the box.
+func randomField(rng *rand.Rand, b grid.Box) *grid.Field {
+	f := grid.NewField("r", b)
+	for i := range f.Data {
+		f.Data[i] = rng.Float64()
+	}
+	return f
+}
+
+// smoothField builds a field with large-scale structure so features
+// span block boundaries.
+func smoothField(b grid.Box, phase float64) *grid.Field {
+	f := grid.NewField("s", b)
+	d := b.Dims()
+	for idx := range f.Data {
+		i, j, k := b.Point(idx)
+		x := float64(i) / float64(d[0])
+		y := float64(j) / float64(max(d[1], 2))
+		z := float64(k) / float64(max(d[2], 2))
+		f.Data[idx] = math.Sin(6*x+phase)*math.Cos(5*y) + 0.5*math.Sin(4*z+2*phase) + 0.3*math.Sin(13*x*y+phase)
+	}
+	return f
+}
+
+func TestAugmentedTreeBasicInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := grid.NewBox(9, 7, 5)
+	f := randomField(rng, b)
+	tr := FromField(f, b)
+	if len(tr.Nodes) != b.Size() {
+		t.Fatalf("augmented tree must contain every vertex: %d vs %d", len(tr.Nodes), b.Size())
+	}
+	if len(tr.Roots) != 1 {
+		t.Fatalf("connected domain must give one root, got %d", len(tr.Roots))
+	}
+	// Down pointers strictly descend in sweep order; up/down links are
+	// mutually consistent.
+	for _, n := range tr.Nodes {
+		if n.Down != nil {
+			if !Above(n.Value, n.ID, n.Down.Value, n.Down.ID) {
+				t.Fatalf("down pointer does not descend: %v -> %v", n.ID, n.Down.ID)
+			}
+			found := false
+			for _, u := range n.Down.Ups {
+				if u == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("down/ups inconsistency at %d", n.ID)
+			}
+		}
+	}
+	// Node count identity: every non-root node has exactly one down
+	// edge, so edges == nodes-1 for a single tree.
+	arcs := tr.Arcs()
+	if len(arcs) != len(tr.Nodes)-1 {
+		t.Fatalf("tree must have n-1 arcs: %d vs %d nodes", len(arcs), len(tr.Nodes))
+	}
+}
+
+// TestReduceKeepsCriticals verifies reduction drops exactly the
+// regular vertices.
+func TestReduceKeepsCriticals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := grid.NewBox(8, 8, 3)
+	f := randomField(rng, b)
+	tr := FromField(f, b)
+	red := Reduce(tr, func(n *Node) bool { return false })
+	for _, n := range red.Nodes {
+		full := tr.Node(n.ID)
+		if full.IsRegular() {
+			t.Fatalf("regular vertex %d survived reduction", n.ID)
+		}
+	}
+	// Maxima and saddles must be preserved with identical structure.
+	if len(red.Maxima()) != len(tr.Maxima()) {
+		t.Fatalf("maxima count changed: %d vs %d", len(red.Maxima()), len(tr.Maxima()))
+	}
+	if len(red.Saddles()) != len(tr.Saddles()) {
+		t.Fatalf("saddle count changed: %d vs %d", len(red.Saddles()), len(tr.Saddles()))
+	}
+	if len(red.Roots) != len(tr.Roots) {
+		t.Fatalf("root count changed")
+	}
+}
+
+// criticalReduce reduces a tree to critical points only.
+func criticalReduce(t *Tree) *Tree {
+	return Reduce(t, func(n *Node) bool { return false })
+}
+
+// glueFromDecomp runs the full hybrid pipeline in-process: local
+// subtrees per block, then gluing; policy selects the boundary
+// augmentation.
+func glueFromDecomp(t *testing.T, f *grid.Field, px, py, pz int, policy BoundaryPolicy, evict bool) *Tree {
+	t.Helper()
+	dc, err := grid.NewDecomp(f.Box, px, py, pz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subtrees []*Subtree
+	for r := 0; r < dc.Ranks(); r++ {
+		owned := dc.Block(r)
+		ext := owned.Grow(1).Intersect(f.Box)
+		local := f.Extract(ext)
+		st, err := LocalSubtree(local, f.Box, owned, r, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip the wire format while we are at it.
+		st2, err := UnmarshalSubtree(st.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		subtrees = append(subtrees, st2)
+	}
+	glued, _, err := Glue(subtrees, GlueOptions{Evict: evict, SweepEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return glued
+}
+
+func TestDistributedEqualsSerial(t *testing.T) {
+	cases := []struct {
+		nx, ny, nz int
+		px, py, pz int
+	}{
+		{12, 10, 8, 2, 2, 2},
+		{16, 9, 1, 4, 3, 1},
+		{20, 20, 6, 3, 2, 2},
+		{7, 7, 7, 2, 2, 2},
+	}
+	for ci, c := range cases {
+		b := grid.NewBox(c.nx, c.ny, c.nz)
+		for _, mk := range []func() *grid.Field{
+			func() *grid.Field { return randomField(rand.New(rand.NewSource(int64(ci)+11)), b) },
+			func() *grid.Field { return smoothField(b, float64(ci)) },
+		} {
+			f := mk()
+			serial := criticalReduce(FromField(f, b))
+			glued := criticalReduce(glueFromDecomp(t, f, c.px, c.py, c.pz, KeepSharedBoundary, false))
+			if !Equal(serial, glued) {
+				t.Fatalf("case %d: distributed tree differs from serial (%d vs %d nodes)",
+					ci, len(glued.Nodes), len(serial.Nodes))
+			}
+		}
+	}
+}
+
+func TestStreamingEvictionEqualsSerial(t *testing.T) {
+	b := grid.NewBox(18, 14, 10)
+	f := smoothField(b, 0.4)
+	serial := criticalReduce(FromField(f, b))
+	glued := glueFromDecomp(t, f, 3, 2, 2, KeepSharedBoundary, true)
+	if !Equal(serial, criticalReduce(glued)) {
+		t.Fatal("streaming eviction changed the tree")
+	}
+}
+
+// TestStreamingEvictionBoundsMemory verifies the in-transit stage's
+// low-memory property: with eviction, the peak resident vertex count
+// stays well below the total number of streamed vertices.
+func TestStreamingEvictionBoundsMemory(t *testing.T) {
+	b := grid.NewBox(24, 24, 12)
+	f := smoothField(b, 1.3)
+	dc, err := grid.NewDecomp(b, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subtrees []*Subtree
+	for r := 0; r < dc.Ranks(); r++ {
+		owned := dc.Block(r)
+		ext := owned.Grow(1).Intersect(b)
+		st, err := LocalSubtree(f.Extract(ext), b, owned, r, KeepSharedBoundary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subtrees = append(subtrees, st)
+	}
+	_, stats, err := Glue(subtrees, GlueOptions{Evict: true, SweepEvery: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evicted == 0 {
+		t.Fatal("eviction never triggered")
+	}
+	if stats.PeakLive >= stats.Declared {
+		t.Fatalf("no memory reduction: peak %d of %d declared", stats.PeakLive, stats.Declared)
+	}
+	t.Logf("declared=%d peak=%d evicted=%d", stats.Declared, stats.PeakLive, stats.Evicted)
+}
+
+// TestBoundaryAblation shows that dropping the boundary augmentation
+// breaks gluing for features spanning blocks (the design choice the
+// paper's §III discusses).
+func TestBoundaryAblation(t *testing.T) {
+	b := grid.NewBox(16, 8, 4)
+	f := smoothField(b, 0.9)
+	serial := criticalReduce(FromField(f, b))
+	broken := criticalReduce(glueFromDecomp(t, f, 4, 2, 1, KeepNone, false))
+	if Equal(serial, broken) {
+		t.Fatal("KeepNone unexpectedly produced the correct tree; ablation field too simple")
+	}
+}
+
+func TestSubtreeMarshalRoundTrip(t *testing.T) {
+	st := &Subtree{
+		Rank:  7,
+		Block: grid.Box{Lo: [3]int{1, 2, 3}, Hi: [3]int{4, 5, 6}},
+		Verts: []SubtreeVert{{ID: 10, Value: 3.5}, {ID: 4, Value: -1.25}},
+		Edges: []Arc{{Hi: 10, Lo: 4}},
+	}
+	got, err := UnmarshalSubtree(st.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != st.Rank || got.Block != st.Block ||
+		len(got.Verts) != 2 || got.Verts[0] != st.Verts[0] || got.Verts[1] != st.Verts[1] ||
+		len(got.Edges) != 1 || got.Edges[0] != st.Edges[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestUnmarshalSubtreeErrors(t *testing.T) {
+	if _, err := UnmarshalSubtree(nil); err == nil {
+		t.Fatal("want error for empty payload")
+	}
+	st := &Subtree{Verts: []SubtreeVert{{ID: 1, Value: 2}}}
+	p := st.Marshal()
+	if _, err := UnmarshalSubtree(p[:len(p)-4]); err == nil {
+		t.Fatal("want error for truncated payload")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	if err := b.DeclareVertex(1, 2.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 99); err == nil {
+		t.Fatal("want error for undeclared endpoint")
+	}
+	if err := b.DeclareVertex(1, 3.0, 1); err == nil {
+		t.Fatal("want error for conflicting redeclaration")
+	}
+	if err := b.DeclareVertex(2, 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err == nil {
+		t.Fatal("want error for exceeding declared degree")
+	}
+}
+
+func TestBuilderUnfinishedEdges(t *testing.T) {
+	b := NewBuilder()
+	if err := b.DeclareVertex(1, 2.0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareVertex(2, 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Finish(); err == nil {
+		t.Fatal("want error when declared edges remain unprocessed")
+	}
+}
+
+// TestGlueArbitraryEdgeOrder verifies the arbitrary-order property the
+// paper requires of the in-transit algorithm: without eviction, any
+// permutation of edge processing yields the same tree.
+func TestGlueArbitraryEdgeOrder(t *testing.T) {
+	b := grid.NewBox(10, 10, 4)
+	f := smoothField(b, 2.2)
+	tr := FromField(f, b)
+	red := Reduce(tr, func(n *Node) bool { return false })
+	st := packSubtree(red, 0, b)
+
+	want, err := GlueSerial([]*Subtree{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := &Subtree{Rank: st.Rank, Block: st.Block, Verts: st.Verts,
+			Edges: append([]Arc{}, st.Edges...)}
+		rng.Shuffle(len(shuffled.Edges), func(i, j int) {
+			shuffled.Edges[i], shuffled.Edges[j] = shuffled.Edges[j], shuffled.Edges[i]
+		})
+		got, _, err := Glue([]*Subtree{shuffled}, GlueOptions{Evict: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(want, got) {
+			t.Fatalf("trial %d: edge order changed the result", trial)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package metrics collects the per-step timing breakdown the paper's
+// evaluation reports: simulation time, per-analysis in-situ time, data
+// movement time and size, and in-transit time (Table II and Fig. 6).
+// Collection is thread-safe; simulation ranks and staging buckets
+// record concurrently.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Breakdown aggregates the cost of one analysis over a run.
+type Breakdown struct {
+	Steps       int           // number of analysis invocations
+	InSitu      time.Duration // total of per-step maxima across ranks
+	MoveModeled time.Duration // total modeled data-movement time
+	MoveWall    time.Duration // total measured pull wall time
+	MoveBytes   int64         // total intermediate bytes moved
+	InTransit   time.Duration // total in-transit compute wall time
+}
+
+// PerStep returns the breakdown averaged per invocation.
+func (b Breakdown) PerStep() Breakdown {
+	if b.Steps == 0 {
+		return b
+	}
+	n := time.Duration(b.Steps)
+	return Breakdown{
+		Steps:       1,
+		InSitu:      b.InSitu / n,
+		MoveModeled: b.MoveModeled / n,
+		MoveWall:    b.MoveWall / n,
+		MoveBytes:   b.MoveBytes / int64(b.Steps),
+		InTransit:   b.InTransit / n,
+	}
+}
+
+// Collector gathers samples during a pipeline run.
+type Collector struct {
+	mu sync.Mutex
+
+	simSteps []time.Duration // per-step simulation time (max over ranks)
+	simMax   map[int]time.Duration
+
+	inSituMax map[string]map[int]time.Duration // analysis -> step -> max over ranks
+	move      map[string]*Breakdown            // movement + in-transit accumulation
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		simMax:    make(map[int]time.Duration),
+		inSituMax: make(map[string]map[int]time.Duration),
+		move:      make(map[string]*Breakdown),
+	}
+}
+
+// RecordSimStep records one rank's simulation time for a step; the
+// per-step maximum across ranks is kept (the step completes when the
+// slowest rank does).
+func (c *Collector) RecordSimStep(step int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > c.simMax[step] {
+		c.simMax[step] = d
+	}
+}
+
+// RecordInSitu records one rank's in-situ time for an analysis at a
+// step, keeping the per-step maximum.
+func (c *Collector) RecordInSitu(analysis string, step int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.inSituMax[analysis]
+	if !ok {
+		m = make(map[int]time.Duration)
+		c.inSituMax[analysis] = m
+	}
+	if d > m[step] {
+		m[step] = d
+	}
+}
+
+// RecordTransit records the staging-side costs of one in-transit task.
+func (c *Collector) RecordTransit(analysis string, moveModeled, moveWall time.Duration, bytes int64, inTransit time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.move[analysis]
+	if !ok {
+		b = &Breakdown{}
+		c.move[analysis] = b
+	}
+	b.MoveModeled += moveModeled
+	b.MoveWall += moveWall
+	b.MoveBytes += bytes
+	b.InTransit += inTransit
+}
+
+// SimTime returns the total and per-step average simulation time.
+func (c *Collector) SimTime() (total, perStep time.Duration, steps int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.simMax {
+		total += d
+	}
+	steps = len(c.simMax)
+	if steps > 0 {
+		perStep = total / time.Duration(steps)
+	}
+	return
+}
+
+// Analyses returns the recorded analysis names, sorted.
+func (c *Collector) Analyses() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[string]bool{}
+	for name := range c.inSituMax {
+		seen[name] = true
+	}
+	for name := range c.move {
+		seen[name] = true
+	}
+	var out []string
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns the accumulated breakdown for one analysis.
+func (c *Collector) Total(analysis string) Breakdown {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b Breakdown
+	if m, ok := c.inSituMax[analysis]; ok {
+		b.Steps = len(m)
+		for _, d := range m {
+			b.InSitu += d
+		}
+	}
+	if mv, ok := c.move[analysis]; ok {
+		b.MoveModeled = mv.MoveModeled
+		b.MoveWall = mv.MoveWall
+		b.MoveBytes = mv.MoveBytes
+		b.InTransit = mv.InTransit
+		if b.Steps == 0 {
+			b.Steps = mv.Steps
+		}
+	}
+	return b
+}
+
+// TableII renders the collected data in the layout of the paper's
+// Table II: per-step in-situ time, data movement time and size, and
+// in-transit time per analysis.
+func (c *Collector) TableII() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-42s %14s %14s %14s %14s\n",
+		"analysis", "in-situ", "movement", "moved (MB)", "in-transit")
+	for _, name := range c.Analyses() {
+		b := c.Total(name).PerStep()
+		mb := float64(b.MoveBytes) / 1e6
+		fmt.Fprintf(&sb, "%-42s %14s %14s %14.2f %14s\n",
+			name, fmtDur(b.InSitu), fmtDur(b.MoveModeled), mb, fmtDur(b.InTransit))
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "—"
+	}
+	return d.Round(time.Microsecond).String()
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimTimeKeepsMaxPerStep(t *testing.T) {
+	c := NewCollector()
+	c.RecordSimStep(1, 10*time.Millisecond)
+	c.RecordSimStep(1, 30*time.Millisecond) // slower rank
+	c.RecordSimStep(1, 20*time.Millisecond)
+	c.RecordSimStep(2, 40*time.Millisecond)
+	total, per, steps := c.SimTime()
+	if steps != 2 {
+		t.Fatalf("steps: want 2, got %d", steps)
+	}
+	if total != 70*time.Millisecond {
+		t.Fatalf("total: want 70ms, got %v", total)
+	}
+	if per != 35*time.Millisecond {
+		t.Fatalf("per-step: want 35ms, got %v", per)
+	}
+}
+
+func TestInSituMaxAcrossRanks(t *testing.T) {
+	c := NewCollector()
+	c.RecordInSitu("topology", 1, 5*time.Millisecond)
+	c.RecordInSitu("topology", 1, 9*time.Millisecond)
+	c.RecordInSitu("topology", 2, 7*time.Millisecond)
+	b := c.Total("topology")
+	if b.Steps != 2 || b.InSitu != 16*time.Millisecond {
+		t.Fatalf("breakdown wrong: %+v", b)
+	}
+	per := b.PerStep()
+	if per.InSitu != 8*time.Millisecond {
+		t.Fatalf("per-step in-situ: want 8ms, got %v", per.InSitu)
+	}
+}
+
+func TestRecordTransitAccumulates(t *testing.T) {
+	c := NewCollector()
+	c.RecordTransit("viz", 2*time.Millisecond, 3*time.Millisecond, 1000, 50*time.Millisecond)
+	c.RecordTransit("viz", 4*time.Millisecond, 5*time.Millisecond, 2000, 70*time.Millisecond)
+	b := c.Total("viz")
+	if b.MoveModeled != 6*time.Millisecond || b.MoveWall != 8*time.Millisecond ||
+		b.MoveBytes != 3000 || b.InTransit != 120*time.Millisecond {
+		t.Fatalf("transit accumulation wrong: %+v", b)
+	}
+}
+
+func TestAnalysesSorted(t *testing.T) {
+	c := NewCollector()
+	c.RecordInSitu("zeta", 1, time.Millisecond)
+	c.RecordTransit("alpha", 0, 0, 1, 0)
+	got := c.Analyses()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("analyses order wrong: %v", got)
+	}
+}
+
+func TestPerStepZeroSteps(t *testing.T) {
+	var b Breakdown
+	if b.PerStep() != b {
+		t.Fatal("zero-step per-step must be identity")
+	}
+}
+
+func TestTableIIFormat(t *testing.T) {
+	c := NewCollector()
+	c.RecordInSitu("hybrid topology", 1, 2720*time.Millisecond)
+	c.RecordTransit("hybrid topology", 2060*time.Millisecond, time.Second, 87_020_000, 119_810*time.Millisecond)
+	out := c.TableII()
+	if !strings.Contains(out, "hybrid topology") {
+		t.Fatalf("missing analysis row:\n%s", out)
+	}
+	if !strings.Contains(out, "87.02") {
+		t.Fatalf("MB column wrong:\n%s", out)
+	}
+	// Header present.
+	if !strings.Contains(out, "in-transit") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for s := 1; s <= 100; s++ {
+				c.RecordSimStep(s, time.Duration(id+1)*time.Millisecond)
+				c.RecordInSitu("a", s, time.Millisecond)
+				c.RecordTransit("a", time.Microsecond, time.Microsecond, 10, time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, per, steps := c.SimTime()
+	if steps != 100 || per != 8*time.Millisecond {
+		t.Fatalf("concurrent collection wrong: steps=%d per=%v", steps, per)
+	}
+	if b := c.Total("a"); b.MoveBytes != 8000 {
+		t.Fatalf("concurrent transit bytes: %d", b.MoveBytes)
+	}
+}

@@ -1,0 +1,204 @@
+// Package netsim models the interconnect between the primary compute
+// resource and the staging area. It stands in for the Cray Gemini
+// fabric used by DART in the paper: transfers are real in-process byte
+// copies, but each transfer is also assigned a modeled duration
+// computed from configurable per-path latency and bandwidth, with the
+// transfer mechanism selected by message size exactly as DART does on
+// Gemini (SMSG for small messages, FMA for medium, BTE RDMA for bulk).
+//
+// The model serves two purposes: (1) the scheduler and pipeline observe
+// realistic asynchrony (optionally enforced by scaled real sleeps), and
+// (2) the experiment harness can report modeled data-movement times at
+// paper scale alongside measured wall-clock times.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Path identifies the transfer mechanism chosen for a message.
+type Path int
+
+const (
+	// SMSG is the GNI short-message path: FMA with OS bypass, lowest
+	// latency, used for control messages and tiny payloads.
+	SMSG Path = iota
+	// FMA is the fast-memory-access path for medium payloads.
+	FMA
+	// BTE is the block-transfer-engine RDMA path for bulk data,
+	// highest bandwidth, higher startup cost.
+	BTE
+)
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	switch p {
+	case SMSG:
+		return "SMSG"
+	case FMA:
+		return "FMA"
+	case BTE:
+		return "BTE"
+	}
+	return fmt.Sprintf("Path(%d)", int(p))
+}
+
+// Params describes one transfer mechanism: a fixed startup latency and
+// a sustained bandwidth.
+type Params struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// Config holds the full network model.
+type Config struct {
+	// SMSGMax and FMAMax are the inclusive upper size bounds (bytes)
+	// for choosing the SMSG and FMA paths; larger messages use BTE.
+	SMSGMax int
+	FMAMax  int
+	// Per-path parameters.
+	SMSG Params
+	FMA  Params
+	BTE  Params
+	// TimeScale optionally converts modeled durations into real sleeps
+	// so pipelining is exercised in wall-clock time: a transfer whose
+	// modeled duration is d sleeps d/TimeScale. Zero disables sleeping.
+	TimeScale float64
+	// SharedLink additionally serializes the sleeps, modeling a single
+	// shared link (for example one staging bucket's ingress NIC):
+	// concurrent transfers then complete one after another instead of
+	// overlapping. Only meaningful with TimeScale > 0.
+	SharedLink bool
+}
+
+// Gemini returns parameters approximating the Cray XK6 Gemini
+// interconnect the paper deployed on: ~1.5 us small-message latency,
+// several GB/s sustained RDMA bandwidth.
+func Gemini() Config {
+	return Config{
+		SMSGMax: 1024,
+		FMAMax:  64 * 1024,
+		SMSG:    Params{Latency: 1500 * time.Nanosecond, Bandwidth: 1.0e9},
+		FMA:     Params{Latency: 2500 * time.Nanosecond, Bandwidth: 3.0e9},
+		BTE:     Params{Latency: 10 * time.Microsecond, Bandwidth: 6.0e9},
+	}
+}
+
+// Network is a shared fabric instance. It accounts transferred bytes
+// and modeled busy time; many endpoints may use it concurrently.
+type Network struct {
+	cfg Config
+
+	bytesMoved atomic.Int64
+	transfers  atomic.Int64
+
+	mu          sync.Mutex
+	modeledBusy time.Duration
+	perPath     map[Path]int64 // bytes per path
+
+	linkMu sync.Mutex // serializes sleeps under SharedLink
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	return &Network{cfg: cfg, perPath: make(map[Path]int64)}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Select returns the mechanism DART would choose for a message of the
+// given size.
+func (n *Network) Select(size int) Path {
+	switch {
+	case size <= n.cfg.SMSGMax:
+		return SMSG
+	case size <= n.cfg.FMAMax:
+		return FMA
+	default:
+		return BTE
+	}
+}
+
+// Cost returns the modeled duration of transferring size bytes along
+// with the chosen path.
+func (n *Network) Cost(size int) (time.Duration, Path) {
+	p := n.Select(size)
+	var par Params
+	switch p {
+	case SMSG:
+		par = n.cfg.SMSG
+	case FMA:
+		par = n.cfg.FMA
+	default:
+		par = n.cfg.BTE
+	}
+	d := par.Latency
+	if par.Bandwidth > 0 {
+		d += time.Duration(float64(size) / par.Bandwidth * float64(time.Second))
+	}
+	return d, p
+}
+
+// Transfer copies src into a freshly allocated buffer, accounts the
+// modeled cost, optionally sleeps the scaled duration, and returns the
+// copy together with the modeled duration. It is the single choke
+// point all simulated RDMA traffic flows through.
+func (n *Network) Transfer(src []byte) ([]byte, time.Duration) {
+	dst := make([]byte, len(src))
+	copy(dst, src)
+	d, p := n.Cost(len(src))
+	n.bytesMoved.Add(int64(len(src)))
+	n.transfers.Add(1)
+	n.mu.Lock()
+	n.modeledBusy += d
+	n.perPath[p] += int64(len(src))
+	n.mu.Unlock()
+	if n.cfg.TimeScale > 0 {
+		if n.cfg.SharedLink {
+			n.linkMu.Lock()
+			time.Sleep(time.Duration(float64(d) / n.cfg.TimeScale))
+			n.linkMu.Unlock()
+		} else {
+			time.Sleep(time.Duration(float64(d) / n.cfg.TimeScale))
+		}
+	}
+	return dst, d
+}
+
+// Stats is a snapshot of fabric counters.
+type Stats struct {
+	BytesMoved  int64
+	Transfers   int64
+	ModeledBusy time.Duration
+	PerPath     map[Path]int64
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	pp := make(map[Path]int64, len(n.perPath))
+	for k, v := range n.perPath {
+		pp[k] = v
+	}
+	return Stats{
+		BytesMoved:  n.bytesMoved.Load(),
+		Transfers:   n.transfers.Load(),
+		ModeledBusy: n.modeledBusy,
+		PerPath:     pp,
+	}
+}
+
+// Reset clears all counters.
+func (n *Network) Reset() {
+	n.bytesMoved.Store(0)
+	n.transfers.Store(0)
+	n.mu.Lock()
+	n.modeledBusy = 0
+	n.perPath = make(map[Path]int64)
+	n.mu.Unlock()
+}

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPathSelection(t *testing.T) {
+	n := New(Gemini())
+	cases := []struct {
+		size int
+		want Path
+	}{
+		{0, SMSG},
+		{1024, SMSG},
+		{1025, FMA},
+		{64 * 1024, FMA},
+		{64*1024 + 1, BTE},
+		{100 << 20, BTE},
+	}
+	for _, c := range cases {
+		if got := n.Select(c.size); got != c.want {
+			t.Errorf("select(%d): want %v, got %v", c.size, c.want, got)
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	n := New(Gemini())
+	// Tiny message: latency dominated.
+	d, p := n.Cost(8)
+	if p != SMSG {
+		t.Fatalf("8-byte message should ride SMSG, got %v", p)
+	}
+	if d < n.Config().SMSG.Latency {
+		t.Fatalf("cost below latency floor: %v", d)
+	}
+	// Bulk message: bandwidth dominated; 60 MB at 6 GB/s ~ 10 ms.
+	db, pb := n.Cost(60 << 20)
+	if pb != BTE {
+		t.Fatalf("bulk message should ride BTE, got %v", pb)
+	}
+	if db < 9*time.Millisecond || db > 12*time.Millisecond {
+		t.Fatalf("bulk cost out of range: %v", db)
+	}
+	// Monotonicity in size (within one path).
+	d1, _ := n.Cost(1 << 20)
+	d2, _ := n.Cost(2 << 20)
+	if d2 <= d1 {
+		t.Fatal("cost must grow with size")
+	}
+}
+
+func TestTransferCopiesAndAccounts(t *testing.T) {
+	n := New(Gemini())
+	src := []byte{1, 2, 3, 4, 5}
+	dst, d := n.Transfer(src)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("transfer must copy the payload")
+	}
+	dst[0] = 99
+	if src[0] == 99 {
+		t.Fatal("transfer must not alias the source")
+	}
+	if d <= 0 {
+		t.Fatal("transfer must report a positive modeled duration")
+	}
+	st := n.Stats()
+	if st.BytesMoved != 5 || st.Transfers != 1 || st.ModeledBusy != d {
+		t.Fatalf("accounting wrong: %+v", st)
+	}
+	if st.PerPath[SMSG] != 5 {
+		t.Fatalf("per-path accounting wrong: %+v", st.PerPath)
+	}
+	n.Reset()
+	if st2 := n.Stats(); st2.BytesMoved != 0 || st2.Transfers != 0 {
+		t.Fatal("reset must clear counters")
+	}
+}
+
+func TestTransferConcurrentAccounting(t *testing.T) {
+	n := New(Gemini())
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 100)
+			for i := 0; i < each; i++ {
+				n.Transfer(buf)
+			}
+		}()
+	}
+	wg.Wait()
+	st := n.Stats()
+	if st.BytesMoved != workers*each*100 || st.Transfers != workers*each {
+		t.Fatalf("concurrent accounting lost updates: %+v", st)
+	}
+}
+
+func TestTimeScaleSleep(t *testing.T) {
+	cfg := Gemini()
+	cfg.TimeScale = 0.001 // sleep 1000x the modeled duration
+	n := New(cfg)
+	start := time.Now()
+	n.Transfer(make([]byte, 8)) // ~1.5us modeled -> ~1.5ms wall
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("TimeScale should stretch the transfer into wall time")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if SMSG.String() != "SMSG" || FMA.String() != "FMA" || BTE.String() != "BTE" {
+		t.Fatal("path names wrong")
+	}
+	if Path(9).String() == "" {
+		t.Fatal("unknown path must still format")
+	}
+}
+
+// TestSharedLinkSerializes: with a shared link, concurrent transfers
+// complete one after another, so total wall time is ~the sum of the
+// scaled durations rather than their max.
+func TestSharedLinkSerializes(t *testing.T) {
+	cfg := Gemini()
+	cfg.TimeScale = 0.001 // 1.5us SMSG -> 1.5ms sleeps
+	cfg.SharedLink = true
+	n := New(cfg)
+	const workers = 4
+	buf := make([]byte, 8)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Transfer(buf)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	per, _ := n.Cost(8)
+	scaled := time.Duration(float64(per) / cfg.TimeScale)
+	if elapsed < time.Duration(workers-1)*scaled {
+		t.Fatalf("shared link did not serialize: %v for %d transfers of %v", elapsed, workers, scaled)
+	}
+}

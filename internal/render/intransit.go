@@ -1,0 +1,120 @@
+package render
+
+import (
+	"fmt"
+	"math"
+
+	"insitu/internal/grid"
+)
+
+// BlockTable is the in-transit side of the hybrid visualization
+// algorithm: "a single, serial in-transit node receives all blocks of
+// down-sampled data and generates a look-up table that records the
+// upper and lower bounds of each block to encode their spatial
+// relationship", used to identify voxel positions during ray casting
+// without a visibility sort or volume reconstruction.
+type BlockTable struct {
+	entries []tableEntry
+	bounds  grid.Box
+	last    int // cache of the most recently hit block (ray locality)
+}
+
+// tableEntry is one received down-sampled block: its spatial bounds
+// (in down-sampled index space) plus a value range usable for
+// empty-space skipping.
+type tableEntry struct {
+	box        grid.Box
+	minV, maxV float64
+	field      *grid.Field
+}
+
+// NewBlockTable creates an empty table.
+func NewBlockTable() *BlockTable { return &BlockTable{last: -1} }
+
+// Add registers one rank's down-sampled block.
+func (bt *BlockTable) Add(f *grid.Field) {
+	lo, hi := f.MinMax()
+	bt.entries = append(bt.entries, tableEntry{box: f.Box, minV: lo, maxV: hi, field: f})
+	bt.bounds = bt.bounds.Union(f.Box)
+}
+
+// AddMarshalled decodes and registers a block transported as bytes.
+func (bt *BlockTable) AddMarshalled(p []byte) error {
+	f, err := grid.UnmarshalField(p)
+	if err != nil {
+		return fmt.Errorf("render: block table: %w", err)
+	}
+	bt.Add(f)
+	return nil
+}
+
+// Len returns the number of registered blocks.
+func (bt *BlockTable) Len() int { return len(bt.entries) }
+
+// Bounds returns the union box of all registered blocks.
+func (bt *BlockTable) Bounds() grid.Box { return bt.bounds }
+
+// ValueRange returns the global scalar extrema across all registered
+// blocks, which the table records per block anyway for empty-space
+// skipping. An empty table returns (+Inf, -Inf).
+func (bt *BlockTable) ValueRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range bt.entries {
+		if bt.entries[i].minV < lo {
+			lo = bt.entries[i].minV
+		}
+		if bt.entries[i].maxV > hi {
+			hi = bt.entries[i].maxV
+		}
+	}
+	return
+}
+
+// locate returns the index of the block containing continuous point p,
+// or -1. The last-hit cache makes the common case O(1) because ray
+// samples are spatially coherent.
+func (bt *BlockTable) locate(x, y, z float64) int {
+	p := [3]float64{x, y, z}
+	if bt.last >= 0 && contains(bt.entries[bt.last].box, p) {
+		return bt.last
+	}
+	for i := range bt.entries {
+		if contains(bt.entries[i].box, p) {
+			bt.last = i
+			return i
+		}
+	}
+	return -1
+}
+
+// Sample returns the scalar at a continuous position in down-sampled
+// index space, interpolating within the containing block (clamped at
+// block faces: the down-sampled blocks carry no ghost layers, which is
+// part of the fidelity trade-off the hybrid algorithm accepts).
+func (bt *BlockTable) Sample(x, y, z float64) float64 {
+	i := bt.locate(x, y, z)
+	if i < 0 {
+		return math.Inf(-1) // outside every block: transparent
+	}
+	return bt.entries[i].field.Sample(x, y, z)
+}
+
+// RenderTable runs the serial in-transit ray caster over the assembled
+// table. The caller passes a Renderer framed for the *down-sampled*
+// index space (Global = table bounds).
+func (r *Renderer) RenderTable(bt *BlockTable) (*Image, error) {
+	if bt.Len() == 0 {
+		return nil, fmt.Errorf("render: empty block table")
+	}
+	return r.renderWith(bt, bt.bounds), nil
+}
+
+// DownsampleForTransit is the in-situ stage of the hybrid algorithm:
+// restrict the rank's owned block to every factor-th grid point and
+// marshal it for the staging transfer. It returns the payload and its
+// size in bytes.
+func DownsampleForTransit(f *grid.Field, owned grid.Box, factor int) ([]byte, int) {
+	ds := f.Extract(owned).Downsample(factor)
+	p := ds.Marshal()
+	return p, len(p)
+}

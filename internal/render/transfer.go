@@ -1,0 +1,62 @@
+package render
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ControlPoint anchors the transfer function at a scalar value.
+type ControlPoint struct {
+	Value      float64
+	R, G, B, A float64 // straight (non-premultiplied) color and opacity
+}
+
+// TransferFunc maps scalar values to color and opacity by piecewise
+// linear interpolation between control points.
+type TransferFunc struct {
+	points []ControlPoint
+}
+
+// NewTransferFunc builds a transfer function; points are sorted by
+// value and at least two are required.
+func NewTransferFunc(points ...ControlPoint) (*TransferFunc, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("render: transfer function needs >= 2 control points, got %d", len(points))
+	}
+	ps := append([]ControlPoint{}, points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Value < ps[j].Value })
+	return &TransferFunc{points: ps}, nil
+}
+
+// HotMetal returns a black-body style map over [lo, hi]: transparent
+// cold, glowing red through yellow to white hot — the conventional
+// look for combustion temperature fields.
+func HotMetal(lo, hi float64) *TransferFunc {
+	span := hi - lo
+	tf, _ := NewTransferFunc(
+		ControlPoint{Value: lo, R: 0, G: 0, B: 0, A: 0},
+		ControlPoint{Value: lo + 0.25*span, R: 0.4, G: 0, B: 0.05, A: 0.02},
+		ControlPoint{Value: lo + 0.5*span, R: 0.9, G: 0.2, B: 0, A: 0.12},
+		ControlPoint{Value: lo + 0.75*span, R: 1, G: 0.7, B: 0.1, A: 0.35},
+		ControlPoint{Value: hi, R: 1, G: 1, B: 0.9, A: 0.8},
+	)
+	return tf
+}
+
+// Lookup returns the straight color and opacity for a scalar value,
+// clamping outside the control range.
+func (tf *TransferFunc) Lookup(v float64) (r, g, b, a float64) {
+	ps := tf.points
+	if v <= ps[0].Value {
+		p := ps[0]
+		return p.R, p.G, p.B, p.A
+	}
+	if v >= ps[len(ps)-1].Value {
+		p := ps[len(ps)-1]
+		return p.R, p.G, p.B, p.A
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Value > v }) - 1
+	p, q := ps[i], ps[i+1]
+	t := (v - p.Value) / (q.Value - p.Value)
+	return p.R + t*(q.R-p.R), p.G + t*(q.G-p.G), p.B + t*(q.B-p.B), p.A + t*(q.A-p.A)
+}

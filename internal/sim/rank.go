@@ -1,0 +1,470 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"insitu/internal/comm"
+	"insitu/internal/grid"
+)
+
+// Rank is the per-process simulation state: the rank's owned block
+// plus a one-point ghost layer for every variable. Scalars advance by
+// first-order upwind advection, explicit diffusion and pointwise
+// reaction, so the evolution is bitwise independent of the domain
+// decomposition — a property the analysis validation tests rely on.
+type Rank struct {
+	sim   *Sim
+	r     *comm.Rank
+	owned grid.Box // block owned by this rank
+	ghost grid.Box // owned grown by one in every direction
+
+	fields  map[string]*grid.Field // storage over the ghost box
+	scratch map[string]*grid.Field
+	step    int
+}
+
+// NewRank creates the state for comm rank r. The comm world size must
+// equal the decomposition's rank count.
+func (s *Sim) NewRank(r *comm.Rank) (*Rank, error) {
+	if r.Size() != s.dc.Ranks() {
+		return nil, fmt.Errorf("sim: world size %d != decomposition ranks %d", r.Size(), s.dc.Ranks())
+	}
+	owned := s.dc.Block(r.ID())
+	rk := &Rank{
+		sim:     s,
+		r:       r,
+		owned:   owned,
+		ghost:   owned.Grow(1),
+		fields:  make(map[string]*grid.Field, len(VarNames)),
+		scratch: make(map[string]*grid.Field, len(advected)),
+	}
+	for _, name := range VarNames {
+		rk.fields[name] = grid.NewField(name, rk.ghost)
+	}
+	for _, name := range advected {
+		rk.scratch[name] = grid.NewField(name, rk.ghost)
+	}
+	rk.initialize()
+	return rk, nil
+}
+
+// OwnedBox returns the rank's block (without ghosts).
+func (rk *Rank) OwnedBox() grid.Box { return rk.owned }
+
+// Step returns the number of completed time steps.
+func (rk *Rank) StepCount() int { return rk.step }
+
+// Field returns a copy of the named variable restricted to the owned
+// block.
+func (rk *Rank) Field(name string) *grid.Field {
+	f, ok := rk.fields[name]
+	if !ok {
+		return nil
+	}
+	return f.Extract(rk.owned)
+}
+
+// GhostedField returns the live storage of the named variable over the
+// ghost box. In-situ analyses access simulation state through this,
+// "sharing the native simulation data structures" as in the paper;
+// callers must not retain it across steps.
+func (rk *Rank) GhostedField(name string) *grid.Field { return rk.fields[name] }
+
+// initialize seeds every column with its inflow profile, so the run
+// starts from a smooth lifted-jet state.
+func (rk *Rank) initialize() {
+	b := rk.ghost
+	for k := b.Lo[2]; k < b.Hi[2]; k++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			prof := rk.sim.inflowProfile(float64(j), float64(k))
+			for i := b.Lo[0]; i < b.Hi[0]; i++ {
+				for name, v := range prof {
+					rk.fields[name].Set(i, j, k, v)
+				}
+			}
+		}
+	}
+	rk.fillVelocity(0)
+	rk.updateN2()
+}
+
+// fillVelocity evaluates the prescribed velocity and pressure over the
+// ghost box at simulation time t.
+func (rk *Rank) fillVelocity(t float64) {
+	u, v, w, p := rk.fields["u"], rk.fields["v"], rk.fields["w"], rk.fields["P"]
+	b := rk.ghost
+	idx := 0
+	for k := b.Lo[2]; k < b.Hi[2]; k++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			for i := b.Lo[0]; i < b.Hi[0]; i++ {
+				uu, vv, ww := rk.sim.velocity(float64(i), float64(j), float64(k), t)
+				u.Data[idx] = uu
+				v.Data[idx] = vv
+				w.Data[idx] = ww
+				p.Data[idx] = 1 - 0.5*(uu*uu+vv*vv+ww*ww)
+				idx++
+			}
+		}
+	}
+}
+
+// ghost-exchange message tags: tag = varIdx*8 + axis*2 + dirBit.
+func exchangeTag(varIdx, axis, dir int) int {
+	bit := 0
+	if dir > 0 {
+		bit = 1
+	}
+	return varIdx*8 + axis*2 + bit
+}
+
+// fullExchange refreshes the complete one-point ghost shell of every
+// advected variable: faces, edges and corners. It proceeds axis by
+// axis, with each phase's slabs extended into the ghost range of the
+// axes already exchanged, so corner values propagate correctly (the
+// standard three-phase halo exchange). Domain-boundary ghost planes
+// are filled per phase with the physical boundary conditions (inflow
+// profile at x-low, zero gradient elsewhere).
+//
+// After fullExchange, the ghosted fields of all ranks agree exactly
+// with the corresponding interiors of a serial run — the property the
+// in-situ analyses (merge-tree boundary augmentation, face-adjacent
+// trilinear sampling) depend on.
+func (rk *Rank) fullExchange() {
+	for vi, name := range advected {
+		f := rk.fields[name]
+		for axis := 0; axis < 3; axis++ {
+			// Slab extended in already-exchanged axes.
+			ext := rk.owned
+			for a2 := 0; a2 < axis; a2++ {
+				ext.Lo[a2]--
+				ext.Hi[a2]++
+			}
+			for _, dir := range []int{-1, 1} {
+				nb := rk.sim.dc.FaceNeighbor(rk.r.ID(), axis, dir)
+				if nb < 0 {
+					continue
+				}
+				face := ext
+				if dir < 0 {
+					face.Hi[axis] = face.Lo[axis] + 1
+				} else {
+					face.Lo[axis] = face.Hi[axis] - 1
+				}
+				rk.r.Send(nb, exchangeTag(vi, axis, dir), f.Extract(face))
+			}
+			for _, dir := range []int{-1, 1} {
+				nb := rk.sim.dc.FaceNeighbor(rk.r.ID(), axis, dir)
+				if nb < 0 {
+					continue
+				}
+				data, _ := rk.r.Recv(nb, exchangeTag(vi, axis, -dir))
+				f.Paste(data.(*grid.Field))
+			}
+			rk.fillBoundaryPlane(name, axis)
+		}
+	}
+}
+
+// fillBoundaryPlane applies boundary conditions on the ghost planes of
+// one axis (extended into the ghost range of lower axes), for points
+// outside the global domain in that axis.
+func (rk *Rank) fillBoundaryPlane(name string, axis int) {
+	g := rk.sim.cfg.Global
+	f := rk.fields[name]
+	for _, dir := range []int{-1, 1} {
+		// Plane outside the domain?
+		var plane grid.Box
+		if dir < 0 {
+			if rk.owned.Lo[axis] != g.Lo[axis] {
+				continue
+			}
+			plane = rk.ghost
+			plane.Hi[axis] = plane.Lo[axis] + 1
+		} else {
+			if rk.owned.Hi[axis] != g.Hi[axis] {
+				continue
+			}
+			plane = rk.ghost
+			plane.Lo[axis] = plane.Hi[axis] - 1
+		}
+		// Restrict non-axis dims: axes already exchanged keep their
+		// ghost extent, later axes stay within owned.
+		for a2 := 0; a2 < 3; a2++ {
+			if a2 == axis {
+				continue
+			}
+			if a2 > axis {
+				plane.Lo[a2] = rk.owned.Lo[a2]
+				plane.Hi[a2] = rk.owned.Hi[a2]
+			}
+		}
+		inflow := axis == 0 && dir < 0
+		for k := plane.Lo[2]; k < plane.Hi[2]; k++ {
+			for j := plane.Lo[1]; j < plane.Hi[1]; j++ {
+				for i := plane.Lo[0]; i < plane.Hi[0]; i++ {
+					if inflow {
+						f.Set(i, j, k, rk.sim.inflowProfile(float64(j), float64(k))[name])
+						continue
+					}
+					ci := clampI(i, g.Lo[0], g.Hi[0]-1)
+					cj := clampI(j, g.Lo[1], g.Hi[1]-1)
+					ck := clampI(k, g.Lo[2], g.Hi[2]-1)
+					// Clamp into the ghost box as well: for lower
+					// axes the clamped source may be a ghost value
+					// exchanged in an earlier phase.
+					ci = clampI(ci, rk.ghost.Lo[0], rk.ghost.Hi[0]-1)
+					cj = clampI(cj, rk.ghost.Lo[1], rk.ghost.Hi[1]-1)
+					ck = clampI(ck, rk.ghost.Lo[2], rk.ghost.Hi[2]-1)
+					f.Set(i, j, k, f.At(ci, cj, ck))
+				}
+			}
+		}
+	}
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// advanceScalars applies one explicit step of upwind advection and
+// central diffusion to every advected variable on the owned block,
+// with time step dt.
+func (rk *Rank) advanceScalars(dt float64) {
+	cfg := rk.sim.cfg
+	u, v, w := rk.fields["u"], rk.fields["v"], rk.fields["w"]
+	for _, name := range advected {
+		f := rk.fields[name]
+		out := rk.scratch[name]
+		for k := rk.owned.Lo[2]; k < rk.owned.Hi[2]; k++ {
+			for j := rk.owned.Lo[1]; j < rk.owned.Hi[1]; j++ {
+				for i := rk.owned.Lo[0]; i < rk.owned.Hi[0]; i++ {
+					c := f.At(i, j, k)
+					xm := f.At(i-1, j, k)
+					xp := f.At(i+1, j, k)
+					ym := f.At(i, j-1, k)
+					yp := f.At(i, j+1, k)
+					zm := f.At(i, j, k-1)
+					zp := f.At(i, j, k+1)
+
+					uu, vv, ww := u.At(i, j, k), v.At(i, j, k), w.At(i, j, k)
+					var adv float64
+					if uu >= 0 {
+						adv += uu * (c - xm)
+					} else {
+						adv += uu * (xp - c)
+					}
+					if vv >= 0 {
+						adv += vv * (c - ym)
+					} else {
+						adv += vv * (yp - c)
+					}
+					if ww >= 0 {
+						adv += ww * (c - zm)
+					} else {
+						adv += ww * (zp - c)
+					}
+					lap := xm + xp + ym + yp + zm + zp - 6*c
+					out.Set(i, j, k, c+dt*(-adv+cfg.Diffusivity*lap))
+				}
+			}
+		}
+	}
+	for _, name := range advected {
+		rk.fields[name], rk.scratch[name] = rk.scratch[name], rk.fields[name]
+		rk.fields[name].Name = name
+		rk.scratch[name].Name = name
+	}
+}
+
+// react applies the single-step H2 chemistry pointwise on the owned
+// block with time step dt: H2 + 8 O2 -> 9 H2O by mass, with OH and
+// minor radicals as fast intermediates relaxing toward the reaction
+// rate.
+func (rk *Rank) react(dt float64) {
+	cfg := rk.sim.cfg
+	T := rk.fields["T"]
+	h2 := rk.fields["Y_H2"]
+	o2 := rk.fields["Y_O2"]
+	h2o := rk.fields["Y_H2O"]
+	oh := rk.fields["Y_OH"]
+	ho2 := rk.fields["Y_HO2"]
+	h2o2 := rk.fields["Y_H2O2"]
+	hr := rk.fields["Y_H"]
+	or := rk.fields["Y_O"]
+	for k := rk.owned.Lo[2]; k < rk.owned.Hi[2]; k++ {
+		for j := rk.owned.Lo[1]; j < rk.owned.Hi[1]; j++ {
+			for i := rk.owned.Lo[0]; i < rk.owned.Hi[0]; i++ {
+				t := T.At(i, j, k)
+				yh2, yo2 := h2.At(i, j, k), o2.At(i, j, k)
+				rate := cfg.ReactA * yh2 * yo2 * math.Exp(-cfg.ReactTa/math.Max(t, 0.05))
+				c := rate * dt
+				if c > yh2 {
+					c = yh2
+				}
+				if 8*c > yo2 {
+					c = yo2 / 8
+				}
+				h2.Set(i, j, k, yh2-c)
+				o2.Set(i, j, k, yo2-8*c)
+				h2o.Set(i, j, k, h2o.At(i, j, k)+9*c)
+				T.Set(i, j, k, t+cfg.HeatRelease*c)
+				oh.Set(i, j, k, oh.At(i, j, k)+0.30*c-0.5*dt*oh.At(i, j, k))
+				ho2.Set(i, j, k, ho2.At(i, j, k)+0.10*c-0.8*dt*ho2.At(i, j, k))
+				h2o2.Set(i, j, k, h2o2.At(i, j, k)+0.05*c-0.3*dt*h2o2.At(i, j, k))
+				hr.Set(i, j, k, hr.At(i, j, k)+0.08*c-1.0*dt*hr.At(i, j, k))
+				or.Set(i, j, k, or.At(i, j, k)+0.06*c-1.0*dt*or.At(i, j, k))
+			}
+		}
+	}
+}
+
+// injectKernels adds the active ignition kernels' temperature and
+// radical sources on the owned block.
+func (rk *Rank) injectKernels(step int) {
+	for _, kn := range rk.sim.ActiveKernels(step) {
+		rk.injectOne(kn, step)
+	}
+}
+
+// injectOne applies a single kernel's source at the given step.
+func (rk *Rank) injectOne(kn Kernel, step int) {
+	cfg := rk.sim.cfg
+	T := rk.fields["T"]
+	oh := rk.fields["Y_OH"]
+	age := step - kn.Birth
+	shape := math.Sin(math.Pi * (float64(age) + 0.5) / float64(cfg.KernelLifetime))
+	// Only touch points within 3 radii.
+	r3 := 3 * kn.Radius
+	lo := [3]int{int(kn.X - r3), int(kn.Y - r3), int(kn.Z - r3)}
+	hi := [3]int{int(kn.X+r3) + 1, int(kn.Y+r3) + 1, int(kn.Z+r3) + 1}
+	box := grid.Box{Lo: lo, Hi: hi}.Intersect(rk.owned)
+	if box.Empty() {
+		return
+	}
+	s2 := 2 * kn.Radius * kn.Radius
+	// The kernel relaxes the local state toward an ignition target
+	// (hot spot with elevated radicals) rather than adding heat
+	// unboundedly: overlapping kernels then saturate instead of
+	// stacking, keeping temperatures physical.
+	tTarget := cfg.CoflowT + kn.Amp
+	const relaxRate = 2.0
+	for k := box.Lo[2]; k < box.Hi[2]; k++ {
+		for j := box.Lo[1]; j < box.Hi[1]; j++ {
+			for i := box.Lo[0]; i < box.Hi[0]; i++ {
+				dx := float64(i) - kn.X
+				dy := float64(j) - kn.Y
+				dz := float64(k) - kn.Z
+				g := math.Exp(-(dx*dx + dy*dy + dz*dz) / s2)
+				r := relaxRate * shape * g * cfg.Dt
+				if r > 1 {
+					r = 1
+				}
+				t0 := T.At(i, j, k)
+				if t0 < tTarget {
+					T.Set(i, j, k, t0+r*(tTarget-t0))
+				}
+				y0 := oh.At(i, j, k)
+				if y0 < 0.2 {
+					oh.Set(i, j, k, y0+r*(0.2-y0))
+				}
+			}
+		}
+	}
+}
+
+// updateN2 clamps every species mass fraction to [0,1] and closes the
+// balance: Y_N2 = 1 - sum of the others, clamped to [0,1].
+func (rk *Rank) updateN2() {
+	n2 := rk.fields["Y_N2"]
+	species := []string{"Y_H2", "Y_O2", "Y_H2O", "Y_OH", "Y_HO2", "Y_H2O2", "Y_H", "Y_O"}
+	for idx := range n2.Data {
+		sum := 0.0
+		for _, sp := range species {
+			y := rk.fields[sp].Data[idx]
+			if y < 0 {
+				y = 0
+				rk.fields[sp].Data[idx] = y
+			} else if y > 1 {
+				y = 1
+				rk.fields[sp].Data[idx] = y
+			}
+			sum += y
+		}
+		v := 1 - sum
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		n2.Data[idx] = v
+	}
+}
+
+// Step advances the rank's state by one time step. All ranks of the
+// world must call Step collectively. On entry the ghost shell is
+// consistent (established by initialization and by the previous
+// step's trailing exchange); on exit it is consistent again, so
+// in-situ analyses may read the ghosted fields directly.
+func (rk *Rank) Step() {
+	cfg := rk.sim.cfg
+	sub := cfg.SubSteps
+	if sub == 0 {
+		sub = 1
+	}
+	dtSub := cfg.Dt / float64(sub)
+	for s := 0; s < sub; s++ {
+		t := (float64(rk.step) + float64(s)/float64(sub)) * cfg.Dt
+		rk.fillVelocity(t)
+		rk.advanceScalars(dtSub)
+		rk.react(dtSub)
+		if s == sub-1 {
+			rk.injectKernels(rk.step)
+		}
+		// Refresh the ghost shell after every substep so the next
+		// substep's stencils (and, after the last one, the in-situ
+		// analyses) see a consistent ghosted state.
+		rk.fullExchange()
+	}
+	// Y_N2 is derived pointwise from the other species, so computing
+	// it after the exchange keeps the whole ghosted state consistent.
+	rk.updateN2()
+	rk.step++
+}
+
+// RunSteps advances n steps.
+func (rk *Rank) RunSteps(n int) {
+	for i := 0; i < n; i++ {
+		rk.Step()
+	}
+}
+
+// RunAll launches one goroutine per rank of the decomposition, calls
+// fn on each, and returns the first error. It is the convenience
+// entry point for drivers that do not need the full core.Pipeline.
+func RunAll(s *Sim, fn func(rk *Rank) error) error {
+	errs := make([]error, s.Ranks())
+	comm.Run(s.Ranks(), func(r *comm.Rank) {
+		rk, err := s.NewRank(r)
+		if err != nil {
+			errs[r.ID()] = err
+			return
+		}
+		errs[r.ID()] = fn(rk)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm returns the rank's communicator handle.
+func (rk *Rank) Comm() *comm.Rank { return rk.r }

@@ -1,0 +1,333 @@
+// Package staging implements the staging area of the hybrid framework:
+// a set of dedicated cores ("staging buckets") that issue bucket-ready
+// requests to the DataSpaces task queue, asynchronously pull the
+// in-situ intermediate data over DART, and execute the in-transit
+// stage of each analysis.
+//
+// Because every bucket independently pulls the next pending task,
+// successive timesteps of the same analysis are automatically mapped
+// onto different buckets — the paper's temporal multiplexing — so the
+// time to complete an analysis is decoupled from the time to advance
+// the simulation.
+package staging
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"insitu/internal/dart"
+	"insitu/internal/dataspaces"
+)
+
+// Handler executes the in-transit stage of one analysis. It receives
+// the task and the pulled input payloads, ordered as in Task.Inputs,
+// and returns an arbitrary result object.
+type Handler func(task dataspaces.Task, data [][]byte) (any, error)
+
+// StreamInput is one pulled payload delivered to a streaming handler
+// in arrival order, as soon as its transfer completes.
+type StreamInput struct {
+	Index int // position in Task.Inputs
+	Rank  int // producing rank
+	Data  []byte
+}
+
+// StreamHandler executes a *streaming* in-transit stage: it consumes
+// inputs as they arrive instead of waiting for the full set — the
+// paper's proposed improvement of "processing in-transit data in a
+// streaming fashion, starting as soon as the first data arrives",
+// hiding the in-transit computation behind the data movement. The
+// channel closes after the last input; the handler then returns its
+// result.
+type StreamHandler func(task dataspaces.Task, inputs <-chan StreamInput) (any, error)
+
+// Result records the outcome and cost breakdown of one in-transit task.
+type Result struct {
+	Task   dataspaces.Task
+	Bucket int
+	Output any
+	Err    error
+
+	// BytesMoved is the total intermediate data pulled for this task.
+	BytesMoved int64
+	// MoveModeled is the modeled duration of the data movement assuming
+	// all pulls proceed concurrently (max over inputs), matching the
+	// paper's per-step "data movement time".
+	MoveModeled time.Duration
+	// MoveModeledSum is the serialized (sum) modeled movement time.
+	MoveModeledSum time.Duration
+	// MoveWall is the measured wall-clock time of the pull phase.
+	MoveWall time.Duration
+	// ComputeWall is the measured wall-clock time of the handler.
+	ComputeWall time.Duration
+	// Start and End bound the task's execution for pipelining analysis.
+	Start, End time.Time
+}
+
+// Option configures an Area.
+type Option func(*Area)
+
+// WithRelease installs a callback invoked with each input descriptor
+// after its data has been pulled, letting the producer release the
+// pinned region.
+func WithRelease(fn func(dataspaces.Descriptor)) Option {
+	return func(a *Area) { a.release = fn }
+}
+
+// WithResultBuffer sets the capacity of the results channel
+// (default 1024).
+func WithResultBuffer(n int) Option {
+	return func(a *Area) { a.resultCap = n }
+}
+
+// Area is a running staging area.
+type Area struct {
+	svc    *dart.Fabric
+	ds     *dataspaces.Service
+	nbkt   int
+	points []*dart.Endpoint
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	streams  map[string]StreamHandler
+	release  func(dataspaces.Descriptor)
+
+	resultCap int
+	results   chan Result
+	wg        sync.WaitGroup
+
+	busy []int64 // per-bucket completed-task counts
+}
+
+// New creates a staging area with nbuckets bucket cores attached to
+// the fabric, pulling work from ds. Start must be called to launch the
+// bucket loops.
+func New(fabric *dart.Fabric, ds *dataspaces.Service, nbuckets int, opts ...Option) (*Area, error) {
+	if nbuckets < 1 {
+		return nil, fmt.Errorf("staging: need at least one bucket, got %d", nbuckets)
+	}
+	a := &Area{
+		svc:       fabric,
+		ds:        ds,
+		nbkt:      nbuckets,
+		handlers:  make(map[string]Handler),
+		streams:   make(map[string]StreamHandler),
+		resultCap: 1024,
+		busy:      make([]int64, nbuckets),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	a.results = make(chan Result, a.resultCap)
+	for i := 0; i < nbuckets; i++ {
+		a.points = append(a.points, fabric.Register(fmt.Sprintf("bucket-%d", i)))
+	}
+	return a, nil
+}
+
+// Handle registers the in-transit stage for the named analysis.
+// Handlers must be registered before Start.
+func (a *Area) Handle(analysis string, h Handler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.handlers[analysis] = h
+}
+
+// HandleStream registers a streaming in-transit stage for the named
+// analysis. A streaming handler takes precedence over a buffered one
+// registered under the same name.
+func (a *Area) HandleStream(analysis string, h StreamHandler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.streams[analysis] = h
+}
+
+// Buckets returns the number of bucket cores.
+func (a *Area) Buckets() int { return a.nbkt }
+
+// Results returns the stream of completed in-transit tasks.
+func (a *Area) Results() <-chan Result { return a.results }
+
+// Start launches one goroutine per bucket. Each loops: bucket-ready →
+// assigned task → pull inputs asynchronously → run handler → emit
+// result, until the DataSpaces service closes.
+func (a *Area) Start() {
+	for i := 0; i < a.nbkt; i++ {
+		a.wg.Add(1)
+		go a.bucketLoop(i)
+	}
+}
+
+// Wait blocks until all bucket loops have exited (after the DataSpaces
+// service is closed and remaining tasks drained), then closes the
+// results channel.
+func (a *Area) Wait() {
+	a.wg.Wait()
+	close(a.results)
+}
+
+// CompletedPerBucket returns a copy of per-bucket completed-task
+// counts, used to verify FCFS load balancing.
+func (a *Area) CompletedPerBucket() []int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int64, len(a.busy))
+	copy(out, a.busy)
+	return out
+}
+
+func (a *Area) bucketLoop(id int) {
+	defer a.wg.Done()
+	ep := a.points[id]
+	for {
+		task, err := a.ds.BucketReady()
+		if err != nil {
+			return
+		}
+		res := a.runTask(id, ep, task)
+		a.mu.Lock()
+		a.busy[id]++
+		a.mu.Unlock()
+		a.results <- res
+	}
+}
+
+func (a *Area) runTask(id int, ep *dart.Endpoint, task dataspaces.Task) Result {
+	a.mu.Lock()
+	sh, streaming := a.streams[task.Analysis]
+	a.mu.Unlock()
+	if streaming {
+		return a.runStreamTask(id, ep, task, sh)
+	}
+	res := Result{Task: task, Bucket: id, Start: time.Now()}
+
+	// Pull phase: issue all Gets asynchronously, then collect.
+	pullStart := time.Now()
+	chans := make([]<-chan dart.GetResult, len(task.Inputs))
+	for i, in := range task.Inputs {
+		chans[i] = ep.GetAsync(in.Handle)
+	}
+	data := make([][]byte, len(task.Inputs))
+	for i, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			res.Err = fmt.Errorf("staging: pull input %d of task %d: %w", i, task.ID, r.Err)
+			res.End = time.Now()
+			return res
+		}
+		data[i] = r.Data
+		res.BytesMoved += int64(len(r.Data))
+		res.MoveModeledSum += r.Duration
+		if r.Duration > res.MoveModeled {
+			res.MoveModeled = r.Duration
+		}
+	}
+	res.MoveWall = time.Since(pullStart)
+	if a.release != nil {
+		for _, in := range task.Inputs {
+			a.release(in)
+		}
+	}
+
+	a.mu.Lock()
+	h, ok := a.handlers[task.Analysis]
+	a.mu.Unlock()
+	if !ok {
+		res.Err = fmt.Errorf("staging: no handler registered for analysis %q", task.Analysis)
+		res.End = time.Now()
+		return res
+	}
+	computeStart := time.Now()
+	out, err := safeHandler(func() (any, error) { return h(task, data) })
+	res.ComputeWall = time.Since(computeStart)
+	res.Output = out
+	res.Err = err
+	res.End = time.Now()
+	return res
+}
+
+// safeHandler isolates handler panics: a panicking analysis yields an
+// errored result instead of killing its bucket (which would starve the
+// staging area and hang the drain).
+func safeHandler(fn func() (any, error)) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("staging: handler panic: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// runStreamTask executes a streaming in-transit stage: the handler
+// starts immediately and receives each input the moment its pull
+// completes, so computation overlaps the remaining transfers. Because
+// movement and compute overlap, ComputeWall here covers the whole
+// handler span and MoveWall the pull span; MoveModeled keeps the same
+// meaning as in the buffered path.
+func (a *Area) runStreamTask(id int, ep *dart.Endpoint, task dataspaces.Task, sh StreamHandler) Result {
+	res := Result{Task: task, Bucket: id, Start: time.Now()}
+	inputs := make(chan StreamInput, len(task.Inputs))
+	type outcome struct {
+		out any
+		err error
+	}
+	done := make(chan outcome, 1)
+	computeStart := time.Now()
+	go func() {
+		out, err := safeHandler(func() (any, error) { return sh(task, inputs) })
+		// A panicking streaming handler stops reading; keep the pull
+		// loop from blocking by draining whatever remains.
+		if err != nil {
+			for range inputs {
+			}
+		}
+		done <- outcome{out, err}
+	}()
+
+	pullStart := time.Now()
+	type pulled struct {
+		i int
+		r dart.GetResult
+	}
+	merged := make(chan pulled, len(task.Inputs))
+	for i, in := range task.Inputs {
+		go func(i int, h dart.MemHandle) {
+			r := <-ep.GetAsync(h)
+			merged <- pulled{i, r}
+		}(i, in.Handle)
+	}
+	var pullErr error
+	for range task.Inputs {
+		m := <-merged
+		if m.r.Err != nil {
+			if pullErr == nil {
+				pullErr = fmt.Errorf("staging: pull input %d of task %d: %w", m.i, task.ID, m.r.Err)
+			}
+			continue
+		}
+		res.BytesMoved += int64(len(m.r.Data))
+		res.MoveModeledSum += m.r.Duration
+		if m.r.Duration > res.MoveModeled {
+			res.MoveModeled = m.r.Duration
+		}
+		inputs <- StreamInput{Index: m.i, Rank: task.Inputs[m.i].Rank, Data: m.r.Data}
+	}
+	close(inputs)
+	res.MoveWall = time.Since(pullStart)
+	if a.release != nil {
+		for _, in := range task.Inputs {
+			a.release(in)
+		}
+	}
+	oc := <-done
+	res.ComputeWall = time.Since(computeStart)
+	res.Output = oc.out
+	res.Err = oc.err
+	if pullErr != nil && res.Err == nil {
+		res.Err = pullErr
+	}
+	res.End = time.Now()
+	return res
+}

@@ -1,0 +1,244 @@
+package staging
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"insitu/internal/dart"
+	"insitu/internal/dataspaces"
+	"insitu/internal/netsim"
+)
+
+// rig wires up a fabric, service and producer endpoint for tests.
+type rig struct {
+	fabric *dart.Fabric
+	ds     *dataspaces.Service
+	prod   *dart.Endpoint
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	f := dart.NewFabric(netsim.New(netsim.Gemini()))
+	ds, err := dataspaces.New(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{fabric: f, ds: ds, prod: f.Register("sim-0")}
+}
+
+// publish registers payload with DART and submits a task for it.
+func (r *rig) publish(t *testing.T, analysis string, step int, payloads ...[]byte) {
+	t.Helper()
+	var inputs []dataspaces.Descriptor
+	for i, p := range payloads {
+		h := r.prod.RegisterMem(p)
+		inputs = append(inputs, dataspaces.Descriptor{
+			Name: analysis, Version: step, Rank: i, Handle: h,
+		})
+	}
+	if _, err := r.ds.SubmitTask(analysis, step, inputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleTaskRoundTrip(t *testing.T) {
+	r := newRig(t)
+	a, err := New(r.fabric, r.ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Handle("concat", func(task dataspaces.Task, data [][]byte) (any, error) {
+		var sb strings.Builder
+		for _, d := range data {
+			sb.Write(d)
+		}
+		return sb.String(), nil
+	})
+	a.Start()
+	r.publish(t, "concat", 1, []byte("in-"), []byte("transit"))
+	res := <-a.Results()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Output.(string) != "in-transit" {
+		t.Fatalf("handler output wrong: %v", res.Output)
+	}
+	if res.BytesMoved != int64(len("in-transit")) {
+		t.Fatalf("bytes moved: want %d, got %d", len("in-transit"), res.BytesMoved)
+	}
+	if res.MoveModeled <= 0 || res.MoveModeledSum < res.MoveModeled {
+		t.Fatalf("movement accounting wrong: %+v", res)
+	}
+	r.ds.Close()
+	a.Wait()
+}
+
+func TestMissingHandler(t *testing.T) {
+	r := newRig(t)
+	a, _ := New(r.fabric, r.ds, 1)
+	a.Start()
+	r.publish(t, "unknown", 1, []byte("x"))
+	res := <-a.Results()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "no handler") {
+		t.Fatalf("want missing-handler error, got %v", res.Err)
+	}
+	r.ds.Close()
+	a.Wait()
+}
+
+func TestPullErrorSurfaces(t *testing.T) {
+	r := newRig(t)
+	a, _ := New(r.fabric, r.ds, 1)
+	a.Handle("x", func(task dataspaces.Task, data [][]byte) (any, error) { return nil, nil })
+	a.Start()
+	// Submit a task whose handle points nowhere.
+	r.ds.SubmitTask("x", 1, []dataspaces.Descriptor{{
+		Name: "x", Handle: dart.MemHandle{Endpoint: 999},
+	}})
+	res := <-a.Results()
+	if res.Err == nil {
+		t.Fatal("broken handle must surface an error")
+	}
+	r.ds.Close()
+	a.Wait()
+}
+
+func TestReleaseCallback(t *testing.T) {
+	r := newRig(t)
+	var mu sync.Mutex
+	released := 0
+	a, _ := New(r.fabric, r.ds, 1, WithRelease(func(d dataspaces.Descriptor) {
+		mu.Lock()
+		released++
+		mu.Unlock()
+		r.prod.Release(d.Handle)
+	}))
+	a.Handle("x", func(task dataspaces.Task, data [][]byte) (any, error) { return nil, nil })
+	a.Start()
+	r.publish(t, "x", 1, []byte("a"), []byte("b"))
+	<-a.Results()
+	mu.Lock()
+	if released != 2 {
+		t.Fatalf("release callback: want 2, got %d", released)
+	}
+	mu.Unlock()
+	r.ds.Close()
+	a.Wait()
+}
+
+// TestTemporalMultiplexing is the core pipelining property: with
+// in-transit work slower than the submission cadence, successive
+// timesteps run on different buckets concurrently, so total wall time
+// is far below the serial sum.
+func TestTemporalMultiplexing(t *testing.T) {
+	r := newRig(t)
+	const buckets = 4
+	const steps = 8
+	const workT = 50 * time.Millisecond
+	a, _ := New(r.fabric, r.ds, buckets)
+	var mu sync.Mutex
+	bucketSeen := map[int]bool{}
+	a.Handle("slow", func(task dataspaces.Task, data [][]byte) (any, error) {
+		time.Sleep(workT)
+		return task.Step, nil
+	})
+	a.Start()
+	start := time.Now()
+	for s := 0; s < steps; s++ {
+		r.publish(t, "slow", s, []byte("d"))
+	}
+	for s := 0; s < steps; s++ {
+		res := <-a.Results()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		mu.Lock()
+		bucketSeen[res.Bucket] = true
+		mu.Unlock()
+	}
+	elapsed := time.Since(start)
+	serial := time.Duration(steps) * workT
+	if elapsed > serial*3/4 {
+		t.Fatalf("no pipelining: %v elapsed for %v serial work on %d buckets", elapsed, serial, buckets)
+	}
+	if len(bucketSeen) < 2 {
+		t.Fatalf("timesteps were not multiplexed across buckets: %v", bucketSeen)
+	}
+	r.ds.Close()
+	a.Wait()
+	per := a.CompletedPerBucket()
+	var total int64
+	for _, c := range per {
+		total += c
+	}
+	if total != steps {
+		t.Fatalf("per-bucket counts sum to %d, want %d", total, steps)
+	}
+}
+
+func TestResultsClosedAfterWait(t *testing.T) {
+	r := newRig(t)
+	a, _ := New(r.fabric, r.ds, 2)
+	a.Start()
+	r.ds.Close()
+	a.Wait()
+	if _, ok := <-a.Results(); ok {
+		t.Fatal("results channel must be closed after Wait")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := New(r.fabric, r.ds, 0); err == nil {
+		t.Fatal("zero buckets must error")
+	}
+}
+
+// TestHandlerPanicIsolated: a panicking analysis yields an errored
+// result; the bucket survives and processes subsequent tasks.
+func TestHandlerPanicIsolated(t *testing.T) {
+	r := newRig(t)
+	a, _ := New(r.fabric, r.ds, 1)
+	calls := 0
+	a.Handle("flaky", func(task dataspaces.Task, data [][]byte) (any, error) {
+		calls++
+		if calls == 1 {
+			panic("analysis bug")
+		}
+		return "recovered", nil
+	})
+	a.Start()
+	r.publish(t, "flaky", 1, []byte("x"))
+	res := <-a.Results()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "panic") {
+		t.Fatalf("want panic error, got %v", res.Err)
+	}
+	r.publish(t, "flaky", 2, []byte("x"))
+	res = <-a.Results()
+	if res.Err != nil || res.Output != "recovered" {
+		t.Fatalf("bucket did not survive the panic: %+v", res)
+	}
+	r.ds.Close()
+	a.Wait()
+}
+
+// TestStreamHandlerPanicIsolated: same guarantee for streaming
+// handlers, including the pull-drain so nothing leaks.
+func TestStreamHandlerPanicIsolated(t *testing.T) {
+	r := newRig(t)
+	a, _ := New(r.fabric, r.ds, 1)
+	a.HandleStream("boom", func(task dataspaces.Task, in <-chan StreamInput) (any, error) {
+		<-in
+		panic("mid-stream bug")
+	})
+	a.Start()
+	r.publish(t, "boom", 1, []byte("a"), []byte("b"), []byte("c"))
+	res := <-a.Results()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "panic") {
+		t.Fatalf("want panic error, got %v", res.Err)
+	}
+	r.ds.Close()
+	a.Wait()
+}

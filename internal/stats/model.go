@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"insitu/internal/comm"
+	"insitu/internal/grid"
+)
+
+// Model is a multi-variable primary model: one Moments accumulator per
+// simulation variable (the paper's runs track 14 variables).
+type Model struct {
+	vars  map[string]*Moments
+	order []string // registration order, for deterministic iteration
+}
+
+// NewModel returns an empty multi-variable model.
+func NewModel() *Model {
+	return &Model{vars: make(map[string]*Moments)}
+}
+
+// Var returns the accumulator for name, creating it on first use.
+func (mo *Model) Var(name string) *Moments {
+	m, ok := mo.vars[name]
+	if !ok {
+		m = NewMoments()
+		mo.vars[name] = m
+		mo.order = append(mo.order, name)
+	}
+	return m
+}
+
+// Names returns the variable names in deterministic (sorted) order.
+func (mo *Model) Names() []string {
+	out := append([]string{}, mo.order...)
+	sort.Strings(out)
+	return out
+}
+
+// LearnField folds every point of a field into the variable named by
+// the field.
+func (mo *Model) LearnField(f *grid.Field) {
+	mo.Var(f.Name).UpdateBatch(f.Data)
+}
+
+// LearnFields folds a set of fields.
+func (mo *Model) LearnFields(fs []*grid.Field) {
+	for _, f := range fs {
+		mo.LearnField(f)
+	}
+}
+
+// Combine merges another multi-variable model into mo.
+func (mo *Model) Combine(o *Model) {
+	for _, name := range o.Names() {
+		mo.Var(name).Combine(o.vars[name])
+	}
+}
+
+// DeriveAll computes the detailed model per variable.
+func (mo *Model) DeriveAll() map[string]Derived {
+	out := make(map[string]Derived, len(mo.vars))
+	for name, m := range mo.vars {
+		out[name] = Derive(m)
+	}
+	return out
+}
+
+// momentsWireSize is the fixed encoding size of one Moments record.
+const momentsWireSize = 7 * 8
+
+func putF(buf *bytes.Buffer, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	buf.Write(b[:])
+}
+
+// Marshal serializes the model into the compact binary form shipped to
+// the in-transit derive stage. The encoded size for 14 variables is a
+// few hundred bytes per rank — the data reduction that makes the
+// hybrid statistics variant nearly free to move.
+func (mo *Model) Marshal() []byte {
+	var buf bytes.Buffer
+	names := mo.Names()
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(names)))
+	buf.Write(b4[:])
+	for _, name := range names {
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(name)))
+		buf.Write(b4[:])
+		buf.WriteString(name)
+		m := mo.vars[name]
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], uint64(m.N))
+		buf.Write(b8[:])
+		putF(&buf, m.Min)
+		putF(&buf, m.Max)
+		putF(&buf, m.Mean)
+		putF(&buf, m.M2)
+		putF(&buf, m.M3)
+		putF(&buf, m.M4)
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalModel reconstructs a model from Marshal's output.
+func UnmarshalModel(p []byte) (*Model, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("stats: model payload too short")
+	}
+	nvars := int(binary.LittleEndian.Uint32(p[:4]))
+	p = p[4:]
+	mo := NewModel()
+	for v := 0; v < nvars; v++ {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("stats: truncated model at variable %d", v)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(p[:4]))
+		p = p[4:]
+		if len(p) < nameLen+momentsWireSize {
+			return nil, fmt.Errorf("stats: truncated model record %d", v)
+		}
+		name := string(p[:nameLen])
+		p = p[nameLen:]
+		m := mo.Var(name)
+		m.N = int64(binary.LittleEndian.Uint64(p[:8]))
+		m.Min = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		m.Max = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+		m.Mean = math.Float64frombits(binary.LittleEndian.Uint64(p[24:]))
+		m.M2 = math.Float64frombits(binary.LittleEndian.Uint64(p[32:]))
+		m.M3 = math.Float64frombits(binary.LittleEndian.Uint64(p[40:]))
+		m.M4 = math.Float64frombits(binary.LittleEndian.Uint64(p[48:]))
+		p = p[momentsWireSize:]
+	}
+	return mo, nil
+}
+
+// ParallelLearn performs the fully in-situ variant's learn stage: an
+// all-to-all-consistent global model obtained by an allreduce over
+// per-rank partial models. Every rank returns the same global model,
+// the paper's "all-to-all communication ... to guarantee a consistent
+// model ... across all processors".
+func ParallelLearn(r *comm.Rank, local *Model) *Model {
+	res := r.Allreduce(local, func(a, b any) any {
+		merged := NewModel()
+		merged.Combine(a.(*Model))
+		merged.Combine(b.(*Model))
+		return merged
+	})
+	return res.(*Model)
+}
+
+// AggregateSerial performs the hybrid variant's in-transit derive-side
+// aggregation: the single serial staging process combines all partial
+// models it pulled from the in-situ ranks.
+func AggregateSerial(partials [][]byte) (*Model, error) {
+	global := NewModel()
+	for i, p := range partials {
+		mo, err := UnmarshalModel(p)
+		if err != nil {
+			return nil, fmt.Errorf("stats: partial model %d: %w", i, err)
+		}
+		global.Combine(mo)
+	}
+	return global, nil
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"insitu/internal/comm"
+	"insitu/internal/grid"
+)
+
+func fieldOf(name string, b grid.Box, fn func(i, j, k int) float64) *grid.Field {
+	f := grid.NewField(name, b)
+	for idx := range f.Data {
+		i, j, k := b.Point(idx)
+		f.Data[idx] = fn(i, j, k)
+	}
+	return f
+}
+
+func TestModelLearnFields(t *testing.T) {
+	b := grid.NewBox(4, 4, 4)
+	mo := NewModel()
+	mo.LearnFields([]*grid.Field{
+		fieldOf("T", b, func(i, j, k int) float64 { return float64(i) }),
+		fieldOf("P", b, func(i, j, k int) float64 { return 2 }),
+	})
+	if got := mo.Var("T").N; got != 64 {
+		t.Fatalf("T count: want 64, got %d", got)
+	}
+	d := mo.DeriveAll()
+	if d["P"].Variance != 0 || d["P"].Mean != 2 {
+		t.Fatalf("P stats wrong: %+v", d["P"])
+	}
+	if d["T"].Mean != 1.5 {
+		t.Fatalf("T mean: want 1.5, got %g", d["T"].Mean)
+	}
+	names := mo.Names()
+	if len(names) != 2 || names[0] != "P" || names[1] != "T" {
+		t.Fatalf("names wrong: %v", names)
+	}
+}
+
+func TestModelMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mo := NewModel()
+	for _, name := range []string{"T", "Y_H2", "Y_OH"} {
+		m := mo.Var(name)
+		for i := 0; i < 100; i++ {
+			m.Update(rng.NormFloat64())
+		}
+	}
+	got, err := UnmarshalModel(mo.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range mo.Names() {
+		a, b := *mo.Var(name), *got.Var(name)
+		if a != b {
+			t.Fatalf("variable %s: %+v vs %+v", name, a, b)
+		}
+	}
+	if _, err := UnmarshalModel(nil); err == nil {
+		t.Fatal("empty payload must error")
+	}
+	if _, err := UnmarshalModel(mo.Marshal()[:9]); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+}
+
+// TestParallelLearnConsistency: the fully in-situ variant must produce
+// an identical global model on every rank, equal to the serial model.
+func TestParallelLearnConsistency(t *testing.T) {
+	const ranks = 6
+	b := grid.NewBox(12, 6, 6)
+	dc, err := grid.NewDecomp(b, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fieldOf("T", b, func(i, j, k int) float64 {
+		return float64(i*i) - 0.3*float64(j) + 0.01*float64(k*k*k)
+	})
+	serial := NewModel()
+	serial.LearnField(full)
+
+	results := make([]*Model, ranks)
+	comm.Run(ranks, func(r *comm.Rank) {
+		local := NewModel()
+		local.LearnField(full.Extract(dc.Block(r.ID())))
+		results[r.ID()] = ParallelLearn(r, local)
+	})
+	want := Derive(serial.Var("T"))
+	for rank, mo := range results {
+		got := Derive(mo.Var("T"))
+		if got.N != want.N || !approxEq(got.Mean, want.Mean, 1e-12) ||
+			!approxEq(got.Variance, want.Variance, 1e-9) ||
+			!approxEq(got.Skewness, want.Skewness, 1e-9) ||
+			!approxEq(got.Kurtosis, want.Kurtosis, 1e-9) {
+			t.Fatalf("rank %d: parallel learn differs:\n got %+v\nwant %+v", rank, got, want)
+		}
+	}
+	// Consistency: all ranks share the exact same (deterministic
+	// reduction tree) result.
+	for rank := 1; rank < ranks; rank++ {
+		if *results[rank].Var("T") != *results[0].Var("T") {
+			t.Fatalf("rank %d model differs bitwise from rank 0", rank)
+		}
+	}
+}
+
+// TestHybridEqualsInSitu: the hybrid learn(in-situ)+derive(in-transit)
+// path must match the fully in-situ path.
+func TestHybridEqualsInSitu(t *testing.T) {
+	b := grid.NewBox(10, 10, 5)
+	dc, err := grid.NewDecomp(b, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fieldOf("OH", b, func(i, j, k int) float64 {
+		return float64((i+1)*(j+2)) / float64(k+3)
+	})
+	// Hybrid: each rank marshals its partial model; a serial process
+	// aggregates.
+	var partials [][]byte
+	for r := 0; r < dc.Ranks(); r++ {
+		local := NewModel()
+		local.LearnField(full.Extract(dc.Block(r)))
+		partials = append(partials, local.Marshal())
+	}
+	global, err := AggregateSerial(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewModel()
+	serial.LearnField(full)
+	g, s := Derive(global.Var("OH")), Derive(serial.Var("OH"))
+	if g.N != s.N || !approxEq(g.Mean, s.Mean, 1e-12) || !approxEq(g.Variance, s.Variance, 1e-9) {
+		t.Fatalf("hybrid aggregation differs: %+v vs %+v", g, s)
+	}
+}
+
+func TestAggregateSerialError(t *testing.T) {
+	if _, err := AggregateSerial([][]byte{{1, 2}}); err == nil {
+		t.Fatal("malformed partial must error")
+	}
+}
+
+// TestDataReductionRatio documents the hybrid variant's payload size:
+// a 14-variable model is a few hundred bytes regardless of block size.
+func TestDataReductionRatio(t *testing.T) {
+	b := grid.NewBox(20, 20, 20)
+	mo := NewModel()
+	vars := []string{"T", "u", "v", "w", "P", "Y_H2", "Y_O2", "Y_H2O", "Y_OH",
+		"Y_HO2", "Y_H2O2", "Y_H", "Y_O", "Y_N2"}
+	for _, name := range vars {
+		mo.LearnField(fieldOf(name, b, func(i, j, k int) float64 { return float64(i + j + k) }))
+	}
+	payload := len(mo.Marshal())
+	raw := len(vars) * b.Size() * 8
+	if payload >= raw/1000 {
+		t.Fatalf("model payload %d bytes is not a >1000x reduction of %d raw bytes", payload, raw)
+	}
+}

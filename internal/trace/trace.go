@@ -1,0 +1,186 @@
+// Package trace records the pipeline's execution timeline — when each
+// simulation step ran and when each in-transit task occupied which
+// staging bucket — and renders it as a text Gantt chart. It makes the
+// paper's temporal multiplexing directly visible: successive
+// timesteps' slow in-transit tasks overlap on different buckets while
+// the simulation marches ahead.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed interval on a lane.
+type Span struct {
+	Lane  string // "sim" or "bucket-N"
+	Label string // e.g. "step 3" or "topology@3"
+	Start time.Time
+	End   time.Time
+}
+
+// Timeline collects spans concurrently.
+type Timeline struct {
+	mu    sync.Mutex
+	spans []Span
+	t0    time.Time
+}
+
+// New creates a timeline anchored at now.
+func New() *Timeline {
+	return &Timeline{t0: time.Now()}
+}
+
+// Anchor returns the timeline origin.
+func (tl *Timeline) Anchor() time.Time { return tl.t0 }
+
+// Add records a span.
+func (tl *Timeline) Add(lane, label string, start, end time.Time) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.spans = append(tl.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+}
+
+// Spans returns a copy of all recorded spans, sorted by start time.
+func (tl *Timeline) Spans() []Span {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := append([]Span{}, tl.spans...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Lanes returns the distinct lane names, "sim" first, then sorted.
+func (tl *Timeline) Lanes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range tl.Spans() {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			out = append(out, s.Lane)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i] == "sim" {
+			return true
+		}
+		if out[j] == "sim" {
+			return false
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Gantt renders the timeline as text, `width` characters across. Each
+// lane is one row; spans draw as runs of '#' with the span's first
+// label character where it fits.
+func (tl *Timeline) Gantt(width int) string {
+	spans := tl.Spans()
+	if len(spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	start := spans[0].Start
+	end := spans[0].End
+	for _, s := range spans {
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+		if s.End.After(end) {
+			end = s.End
+		}
+	}
+	total := end.Sub(start)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	cell := func(t time.Time) int {
+		c := int(float64(width) * float64(t.Sub(start)) / float64(total))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %v total, one column ~ %v\n", total.Round(time.Microsecond),
+		(total / time.Duration(width)).Round(time.Microsecond))
+	for _, lane := range tl.Lanes() {
+		row := []byte(strings.Repeat(".", width))
+		for _, s := range spans {
+			if s.Lane != lane {
+				continue
+			}
+			a, b := cell(s.Start), cell(s.End)
+			for c := a; c <= b; c++ {
+				row[c] = '#'
+			}
+			if len(s.Label) > 0 {
+				row[a] = s.Label[0]
+			}
+		}
+		fmt.Fprintf(&sb, "%-12s |%s|\n", lane, row)
+	}
+	return sb.String()
+}
+
+// Utilization returns, per lane, the fraction of the timeline's span
+// covered by work (overlapping spans merged).
+func (tl *Timeline) Utilization() map[string]float64 {
+	spans := tl.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	start := spans[0].Start
+	end := spans[0].End
+	for _, s := range spans {
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+		if s.End.After(end) {
+			end = s.End
+		}
+	}
+	total := end.Sub(start)
+	if total <= 0 {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, lane := range tl.Lanes() {
+		type iv struct{ a, b time.Time }
+		var ivs []iv
+		for _, s := range spans {
+			if s.Lane == lane {
+				ivs = append(ivs, iv{s.Start, s.End})
+			}
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].a.Before(ivs[j].a) })
+		var busy time.Duration
+		var curA, curB time.Time
+		for i, v := range ivs {
+			if i == 0 {
+				curA, curB = v.a, v.b
+				continue
+			}
+			if v.a.After(curB) {
+				busy += curB.Sub(curA)
+				curA, curB = v.a, v.b
+				continue
+			}
+			if v.b.After(curB) {
+				curB = v.b
+			}
+		}
+		busy += curB.Sub(curA)
+		out[lane] = float64(busy) / float64(total)
+	}
+	return out
+}

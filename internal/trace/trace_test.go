@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mk(t0 time.Time, lane, label string, startMs, endMs int) Span {
+	return Span{
+		Lane:  lane,
+		Label: label,
+		Start: t0.Add(time.Duration(startMs) * time.Millisecond),
+		End:   t0.Add(time.Duration(endMs) * time.Millisecond),
+	}
+}
+
+func TestSpansSorted(t *testing.T) {
+	tl := New()
+	t0 := tl.Anchor()
+	b := mk(t0, "b", "later", 10, 20)
+	a := mk(t0, "a", "earlier", 0, 5)
+	tl.Add(b.Lane, b.Label, b.Start, b.End)
+	tl.Add(a.Lane, a.Label, a.Start, a.End)
+	spans := tl.Spans()
+	if len(spans) != 2 || spans[0].Label != "earlier" {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+}
+
+func TestLanesSimFirst(t *testing.T) {
+	tl := New()
+	t0 := tl.Anchor()
+	for _, lane := range []string{"bucket-1", "bucket-0", "sim"} {
+		s := mk(t0, lane, "x", 0, 1)
+		tl.Add(s.Lane, s.Label, s.Start, s.End)
+	}
+	lanes := tl.Lanes()
+	if lanes[0] != "sim" || lanes[1] != "bucket-0" || lanes[2] != "bucket-1" {
+		t.Fatalf("lane order wrong: %v", lanes)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tl := New()
+	t0 := tl.Anchor()
+	s1 := mk(t0, "sim", "step 1", 0, 10)
+	s2 := mk(t0, "bucket-0", "topology@1", 10, 100)
+	tl.Add(s1.Lane, s1.Label, s1.Start, s1.End)
+	tl.Add(s2.Lane, s2.Label, s2.Start, s2.End)
+	out := tl.Gantt(40)
+	if !strings.Contains(out, "sim") || !strings.Contains(out, "bucket-0") {
+		t.Fatalf("lanes missing:\n%s", out)
+	}
+	// The bucket row must contain a long run of '#'.
+	lines := strings.Split(out, "\n")
+	var bucketRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "bucket-0") {
+			bucketRow = l
+		}
+	}
+	if strings.Count(bucketRow, "#") < 20 {
+		t.Fatalf("bucket span not drawn:\n%s", out)
+	}
+	if (&Timeline{}).Gantt(40) != "(empty timeline)\n" {
+		t.Fatal("empty timeline rendering wrong")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tl := New()
+	t0 := tl.Anchor()
+	// Lane "a" busy 0-50 and 25-75 (merged: 0-75 of 0-100 = 0.75).
+	for _, s := range []Span{
+		mk(t0, "a", "x", 0, 50),
+		mk(t0, "a", "y", 25, 75),
+		mk(t0, "b", "z", 0, 100),
+	} {
+		tl.Add(s.Lane, s.Label, s.Start, s.End)
+	}
+	u := tl.Utilization()
+	if u["b"] < 0.99 {
+		t.Fatalf("lane b should be fully busy: %v", u)
+	}
+	if u["a"] < 0.74 || u["a"] > 0.76 {
+		t.Fatalf("lane a overlap merge wrong: %v", u)
+	}
+	if (&Timeline{}).Utilization() != nil {
+		t.Fatal("empty utilization must be nil")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	tl := New()
+	t0 := tl.Anchor()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := mk(t0, "lane", "x", i, i+1)
+				tl.Add(s.Lane, s.Label, s.Start, s.End)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(tl.Spans()) != 800 {
+		t.Fatalf("lost spans: %d", len(tl.Spans()))
+	}
+}

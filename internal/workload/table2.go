@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/metrics"
+)
+
+// TableIIRow is one analysis row of Table II: measured per-step
+// breakdown plus the paper's published values.
+type TableIIRow struct {
+	Analysis string
+	Measured metrics.Breakdown
+	Paper    TableIIRef
+	HasPaper bool
+}
+
+// TableIIResult bundles the rows with the run's simulation time, so
+// percent-of-simulation figures (Fig. 6's headline claims) can be
+// derived.
+type TableIIResult struct {
+	Rows        []TableIIRow
+	SimPerStep  time.Duration
+	Steps       int
+	PaperSim    time.Duration
+	RawStepByte int64
+}
+
+// analysisSet builds the five paper analyses plus the two extensions.
+func analysisSet(withExtensions bool) []core.Analysis {
+	topo := core.NewTopologyHybrid()
+	topo.SimplifyEps = 0.05
+	as := []core.Analysis{
+		&core.StatsInSitu{},
+		&core.StatsHybrid{},
+		core.NewVizInSitu(64, 48),
+		core.NewVizHybrid(64, 48, 8),
+		topo,
+	}
+	if withExtensions {
+		as = append(as,
+			&core.AutoCorrHybrid{Lags: []int{1, 5, 10}},
+			&core.FeatureStatsHybrid{Threshold: 1.0},
+			&core.ContingencyHybrid{},
+		)
+	}
+	return as
+}
+
+// RunTableII runs the full pipeline with every analysis for the given
+// number of steps and collects the Table II breakdown.
+func RunTableII(sc Scenario, steps int, withExtensions bool) (*TableIIResult, error) {
+	p, err := core.NewPipeline(sc.PipelineConfig())
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range analysisSet(withExtensions) {
+		p.Register(a)
+	}
+	rep, err := p.Run(steps)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIResult{Steps: steps, PaperSim: sc.Paper.SimTime, RawStepByte: sc.RawStepBytes()}
+	_, res.SimPerStep, _ = rep.Metrics.SimTime()
+	paper := PaperTableIIRows()
+	for _, name := range rep.Metrics.Analyses() {
+		row := TableIIRow{Analysis: name, Measured: rep.Metrics.Total(name).PerStep()}
+		if ref, ok := paper[name]; ok {
+			row.Paper = ref
+			row.HasPaper = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the result in the layout of the paper's Table II,
+// with the paper's numbers bracketed for comparison.
+func (r *TableIIResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "simulation time per step: %.4fs [paper %.2fs]\n\n",
+		r.SimPerStep.Seconds(), r.PaperSim.Seconds())
+	fmt.Fprintf(&sb, "%-42s %24s %24s %20s %26s\n",
+		"analysis", "in-situ (s)", "movement (s)", "moved (MB)", "in-transit (s)")
+	for _, row := range r.Rows {
+		m := row.Measured
+		mb := float64(m.MoveBytes) / 1e6
+		if row.HasPaper {
+			p := row.Paper
+			fmt.Fprintf(&sb, "%-42s %12.4f [%8.2f] %12.4f [%8.3f] %8.3f [%8.2f] %12.4f [%10.2f]\n",
+				row.Analysis,
+				m.InSitu.Seconds(), p.InSitu.Seconds(),
+				m.MoveModeled.Seconds(), p.Movement.Seconds(),
+				mb, p.MovementMB,
+				m.InTransit.Seconds(), p.InTransit.Seconds())
+		} else {
+			fmt.Fprintf(&sb, "%-42s %12.4f %11s %12.4f %11s %8.3f %11s %12.4f\n",
+				row.Analysis,
+				m.InSitu.Seconds(), "",
+				m.MoveModeled.Seconds(), "",
+				mb, "",
+				m.InTransit.Seconds())
+		}
+	}
+	return sb.String()
+}
+
+// Fig6Bar is one bar of the Fig. 6 timing breakdown: a named quantity
+// expressed both in absolute time and as a fraction of the simulation
+// step.
+type Fig6Bar struct {
+	Label     string
+	Time      time.Duration
+	OfSimStep float64 // fraction of the per-step simulation time
+}
+
+// Fig6Series derives the Fig. 6 presentation from a Table II result:
+// per-analysis in-situ, movement, and in-transit bars alongside the
+// simulation bar.
+func (r *TableIIResult) Fig6Series() []Fig6Bar {
+	out := []Fig6Bar{{Label: "simulation", Time: r.SimPerStep, OfSimStep: 1}}
+	frac := func(d time.Duration) float64 {
+		if r.SimPerStep <= 0 {
+			return 0
+		}
+		return d.Seconds() / r.SimPerStep.Seconds()
+	}
+	for _, row := range r.Rows {
+		m := row.Measured
+		out = append(out, Fig6Bar{
+			Label: row.Analysis + " (in-situ)", Time: m.InSitu, OfSimStep: frac(m.InSitu),
+		})
+		if m.MoveBytes > 0 {
+			out = append(out,
+				Fig6Bar{Label: row.Analysis + " (movement)", Time: m.MoveModeled, OfSimStep: frac(m.MoveModeled)},
+				Fig6Bar{Label: row.Analysis + " (in-transit)", Time: m.InTransit, OfSimStep: frac(m.InTransit)},
+			)
+		}
+	}
+	return out
+}
+
+// FormatFig6 renders the series as rows with a text bar chart.
+func FormatFig6(bars []Fig6Bar) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-58s %14s %10s  %s\n", "component", "time", "% of sim", "")
+	for _, b := range bars {
+		n := int(b.OfSimStep * 50)
+		if n > 60 {
+			n = 60
+		}
+		fmt.Fprintf(&sb, "%-58s %14s %9.2f%%  %s\n",
+			b.Label, b.Time.Round(time.Microsecond), 100*b.OfSimStep, strings.Repeat("#", n))
+	}
+	return sb.String()
+}

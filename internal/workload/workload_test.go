@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"insitu/internal/grid"
+	"insitu/internal/sim"
+)
+
+func TestScenarioShapes(t *testing.T) {
+	a, b := Scenario4896(), Scenario9440()
+	// The 9440-core run doubles the x split, exactly like the paper
+	// (16x28x10 -> 32x28x10).
+	if b.Sim.Px != 2*a.Sim.Px || b.Sim.Py != a.Sim.Py || b.Sim.Pz != a.Sim.Pz {
+		t.Fatalf("9440 scenario must double the x split: %dx%dx%d vs %dx%dx%d",
+			a.Sim.Px, a.Sim.Py, a.Sim.Pz, b.Sim.Px, b.Sim.Py, b.Sim.Pz)
+	}
+	if a.Sim.Global != b.Sim.Global {
+		t.Fatal("both scenarios must share the global grid")
+	}
+	if a.Paper.SimTime <= b.Paper.SimTime {
+		t.Fatal("paper reference: doubling cores must halve sim time")
+	}
+	if a.RawStepBytes() != int64(a.Sim.Global.Size()*8*len(sim.VarNames)) {
+		t.Fatal("raw step bytes wrong")
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	sc := Scenario4896()
+	// Shrink for test speed.
+	sc.Sim = sim.DefaultConfig(grid.NewBox(24, 16, 8), 2, 2, 1)
+	dir := t.TempDir()
+	row, err := RunTableI(sc, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MeasuredStep <= 0 || row.MeasuredWrite <= 0 || row.MeasuredRead <= 0 {
+		t.Fatalf("timings not measured: %+v", row)
+	}
+	wantBytes := int64(sc.Sim.Global.Size() * 8 * len(sim.VarNames)) // payload lower bound
+	if row.CheckpointByte < wantBytes {
+		t.Fatalf("checkpoint too small: %d < %d", row.CheckpointByte, wantBytes)
+	}
+	// Modeled paper I/O must land on Table I's values.
+	if s := row.ModeledPaperRead.Seconds(); s < 6.3 || s > 6.9 {
+		t.Fatalf("modeled paper read %.2fs not ~6.56s", s)
+	}
+	if s := row.ModeledPaperWrite.Seconds(); s < 3.1 || s > 3.5 {
+		t.Fatalf("modeled paper write %.2fs not ~3.28s", s)
+	}
+	out := FormatTableI([]*TableIRow{row})
+	for _, want := range []string{"Simulation time", "I/O read time", "DataSpaces"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+	CleanDir(dir)
+}
+
+func TestRunTableIIAndFig6(t *testing.T) {
+	sc := Scenario4896()
+	// Shrink for test speed.
+	sc.Sim = sim.DefaultConfig(grid.NewBox(20, 12, 8), 2, 2, 1)
+	res, err := RunTableII(sc, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimPerStep <= 0 {
+		t.Fatal("sim time missing")
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("want 8 analysis rows (5 paper + 3 extensions), got %d", len(res.Rows))
+	}
+	// All five paper analyses must be matched to their reference rows.
+	matched := 0
+	for _, row := range res.Rows {
+		if row.HasPaper {
+			matched++
+		}
+		if row.Measured.InSitu <= 0 {
+			t.Fatalf("%s: no in-situ time", row.Analysis)
+		}
+	}
+	if matched != 5 {
+		t.Fatalf("want 5 paper-matched rows, got %d", matched)
+	}
+	// Shape check: hybrid stats moves tiny data and derives almost
+	// instantly; topology's in-transit dominates its in-situ stage.
+	var topo, hstats TableIIRow
+	for _, row := range res.Rows {
+		switch row.Analysis {
+		case "hybrid topology":
+			topo = row
+		case "hybrid descriptive statistics":
+			hstats = row
+		}
+	}
+	if hstats.Measured.MoveBytes >= topo.Measured.MoveBytes {
+		t.Fatal("stats models must be smaller than topology subtrees")
+	}
+	out := res.Format()
+	if !strings.Contains(out, "hybrid topology") {
+		t.Fatalf("Table II output malformed:\n%s", out)
+	}
+	bars := res.Fig6Series()
+	if len(bars) == 0 || bars[0].Label != "simulation" || bars[0].OfSimStep != 1 {
+		t.Fatalf("Fig 6 series malformed: %+v", bars)
+	}
+	if !strings.Contains(FormatFig6(bars), "% of sim") {
+		t.Fatal("Fig 6 output malformed")
+	}
+}
+
+func TestRunFig1CadenceSweep(t *testing.T) {
+	cfg := sim.DefaultConfig(grid.NewBox(32, 16, 8), 2, 2, 1)
+	cfg.KernelRate = 1.2 // plenty of events in a short run
+	res, err := RunFig1(cfg, 30, 0.1, []int{1, 5, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 cadence rows, got %d", len(res.Rows))
+	}
+	r1, r30 := res.Rows[0], res.Rows[3]
+	if r1.KernelsTotal == 0 {
+		t.Fatal("no ignition kernels generated")
+	}
+	// Cadence 1 captures every kernel; cadence >> lifetime misses
+	// most.
+	if r1.KernelsCaptured != r1.KernelsTotal {
+		t.Fatalf("cadence 1 must capture all kernels: %d/%d", r1.KernelsCaptured, r1.KernelsTotal)
+	}
+	if r30.KernelsCaptured >= r1.KernelsCaptured {
+		t.Fatalf("coarse cadence should capture fewer kernels: %d vs %d",
+			r30.KernelsCaptured, r1.KernelsCaptured)
+	}
+	// Connectivity: fine cadence tracks features across many steps.
+	if r1.MeanMatches <= 0 {
+		t.Fatal("cadence 1 must produce overlap matches")
+	}
+	if r1.LongestChain < 5 {
+		t.Fatalf("cadence 1 should track features across steps, chain=%d", r1.LongestChain)
+	}
+	if !strings.Contains(res.Format(), "kernels captured") {
+		t.Fatal("Fig 1 output malformed")
+	}
+	// Validation.
+	if _, err := RunFig1(cfg, 4, 0.1, []int{0}); err == nil {
+		t.Fatal("zero cadence must error")
+	}
+}
