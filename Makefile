@@ -1,0 +1,29 @@
+# Tier-1 verification: everything a change must keep green.
+#   make tier1      vet + build + full test suite + race suite
+#   make test       fast inner loop (build + tests, no race)
+#   make bench      the paper-table benches
+#   make bench-par  parallel-kernel / pooled-transfer benches (BENCH_PR1.json)
+
+GO ?= go
+
+.PHONY: tier1 vet build test race bench bench-par
+
+tier1: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+bench-par:
+	$(GO) test -run xxx -bench 'Parallel|Pooled|Unpooled' -benchmem .

@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"insitu/internal/bufpool"
 	"insitu/internal/grid"
 )
 
@@ -26,47 +27,58 @@ var magic = [4]byte{'B', 'P', 'L', 'T'}
 
 const version = 1
 
-// WriteFile writes the fields to path and returns the byte count.
+// WriteFile writes the fields to path and returns the byte count. The
+// whole file is packed into one pool-recycled buffer sized exactly up
+// front — each field marshals straight into its final position with no
+// intermediate per-field allocations — so repeated checkpoints reuse
+// one buffer instead of regrowing a bytes.Buffer every step.
 func WriteFile(path string, fields []*grid.Field) (int64, error) {
-	var buf bytes.Buffer
-	buf.Write(magic[:])
+	total := 12 // magic + version + nvars
+	for _, f := range fields {
+		total += f.MarshalSize()      // payload
+		total += 4 + len(f.Name) + 16 // index entry
+	}
+	total += 8 + 4 // footer offset + trailing magic
+	buf := bufpool.Get(total)[:0]
+	defer bufpool.Put(buf)
+	buf = append(buf, magic[:]...)
 	var b4 [4]byte
 	binary.LittleEndian.PutUint32(b4[:], version)
-	buf.Write(b4[:])
+	buf = append(buf, b4[:]...)
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(fields)))
-	buf.Write(b4[:])
+	buf = append(buf, b4[:]...)
 	// Payloads, recording offsets for the footer index.
 	type entry struct {
 		name   string
 		offset uint64
 		length uint64
 	}
-	var index []entry
+	index := make([]entry, 0, len(fields))
 	for _, f := range fields {
-		p := f.Marshal()
-		index = append(index, entry{name: f.Name, offset: uint64(buf.Len()), length: uint64(len(p))})
-		buf.Write(p)
+		off := len(buf)
+		buf = f.AppendMarshal(buf)
+		index = append(index, entry{name: f.Name, offset: uint64(off), length: uint64(len(buf) - off)})
 	}
 	// Footer: per-variable (nameLen, name, offset, length), then the
 	// footer offset and magic again for validity checking.
-	footerOff := uint64(buf.Len())
+	footerOff := uint64(len(buf))
 	var b8 [8]byte
 	for _, e := range index {
 		binary.LittleEndian.PutUint32(b4[:], uint32(len(e.name)))
-		buf.Write(b4[:])
-		buf.WriteString(e.name)
+		buf = append(buf, b4[:]...)
+		buf = append(buf, e.name...)
 		binary.LittleEndian.PutUint64(b8[:], e.offset)
-		buf.Write(b8[:])
+		buf = append(buf, b8[:]...)
 		binary.LittleEndian.PutUint64(b8[:], e.length)
-		buf.Write(b8[:])
+		buf = append(buf, b8[:]...)
 	}
 	binary.LittleEndian.PutUint64(b8[:], footerOff)
-	buf.Write(b8[:])
-	buf.Write(magic[:])
-	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+	buf = append(buf, b8[:]...)
+	buf = append(buf, magic[:]...)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return 0, fmt.Errorf("bp: write %s: %w", path, err)
 	}
-	return int64(buf.Len()), nil
+	return int64(len(buf)), nil
 }
 
 // readIndex parses the footer and returns name -> (offset, length).

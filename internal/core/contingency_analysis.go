@@ -66,7 +66,7 @@ func (c *ContingencyHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := tab.UpdateBatch(fx.Data, fy.Data); err != nil {
+	if err := tab.UpdateBatchParallel(fx.Data, fy.Data); err != nil {
 		return nil, err
 	}
 	return tab.Marshal(), nil

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// poolStressAnalyses are the hybrid analyses exercised by the pooled
+// stress runs: every one ships intermediates through DART into pooled
+// bucket buffers, so all three payload shapes (stats models,
+// contingency tables, downsampled viz blocks) cross the recycled path.
+func poolStressAnalyses() []Analysis {
+	return []Analysis{
+		&StatsHybrid{},
+		&ContingencyHybrid{},
+		NewVizHybrid(16, 12, 2),
+	}
+}
+
+func runPooledPipeline(t *testing.T, steps int) *Report {
+	t.Helper()
+	cfg := DefaultConfig(testSimConfig(2, 2, 1))
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range poolStressAnalyses() {
+		p.Register(a)
+	}
+	rep, err := p.Run(steps)
+	if err != nil {
+		t.Fatalf("pooled pipeline run failed: %v (all errs: %v)", err, rep.Errs)
+	}
+	if n := p.PinnedRegions(); n != 0 {
+		t.Fatalf("pooled pipeline leaked %d pinned regions", n)
+	}
+	return rep
+}
+
+// TestPooledPipelineStress runs several identical full pipelines
+// concurrently. All of them share the process-global byte-buffer pool,
+// so producer marshal buffers, DART transfer destinations, and bucket
+// input payloads are constantly recycled across the racing pipelines.
+// The simulation is deterministic, so every run must reproduce the
+// reference results exactly: any use-after-recycle would surface as a
+// result mismatch here and as a data race under `go test -race`.
+func TestPooledPipelineStress(t *testing.T) {
+	const steps = 3
+	const concurrent = 3
+	ref := runPooledPipeline(t, steps)
+
+	reps := make([]*Report, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i] = runPooledPipeline(t, steps)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	names := []string{}
+	for _, a := range poolStressAnalyses() {
+		names = append(names, a.Name())
+	}
+	for i, rep := range reps {
+		for _, name := range names {
+			for s := 1; s <= steps; s++ {
+				want := ref.Result(name, s)
+				got := rep.Result(name, s)
+				if want == nil || got == nil {
+					t.Fatalf("run %d: %s step %d: missing result", i, name, s)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("run %d: %s step %d: result differs from reference (pool corruption?)", i, name, s)
+				}
+			}
+		}
+	}
+}

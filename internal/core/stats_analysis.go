@@ -31,7 +31,7 @@ func (s *StatsInSitu) RunInSitu(ctx *Ctx) (any, error) {
 		if f == nil {
 			return nil, fmt.Errorf("stats: unknown variable %q", v)
 		}
-		local.LearnField(f)
+		local.LearnFieldParallel(f)
 	}
 	global := stats.ParallelLearn(ctx.Comm, local)
 	return global.DeriveAll(), nil
@@ -71,7 +71,7 @@ func (s *StatsHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
 		if f == nil {
 			return nil, fmt.Errorf("stats: unknown variable %q", v)
 		}
-		local.LearnField(f)
+		local.LearnFieldParallel(f)
 	}
 	return local.Marshal(), nil
 }
@@ -133,7 +133,7 @@ func (a *AssessTestInSitu) RunInSitu(ctx *Ctx) (any, error) {
 	}
 	// Learn + derive.
 	local := stats.NewModel()
-	local.LearnField(f)
+	local.LearnFieldParallel(f)
 	global := stats.ParallelLearn(ctx.Comm, local)
 	derived := stats.Derive(global.Var(name))
 	// Assess locally; reduce the outlier count for the report.

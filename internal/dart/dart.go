@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"insitu/internal/bufpool"
 	"insitu/internal/netsim"
 )
 
@@ -166,18 +167,27 @@ func (ep *Endpoint) Regions() int {
 
 // Release unpins a region previously registered on this endpoint.
 func (ep *Endpoint) Release(h MemHandle) error {
+	_, err := ep.Reclaim(h)
+	return err
+}
+
+// Reclaim unpins a region and returns its backing buffer, so the
+// owner can recycle it (typically into bufpool) once the consumer has
+// pulled the data. After Reclaim the buffer is no longer reachable
+// through the fabric; the caller owns it exclusively.
+func (ep *Endpoint) Reclaim(h MemHandle) ([]byte, error) {
 	if h.Endpoint != ep.id {
-		return fmt.Errorf("dart: release of foreign handle %+v on endpoint %d", h, ep.id)
+		return nil, fmt.Errorf("dart: release of foreign handle %+v on endpoint %d", h, ep.id)
 	}
 	ep.mu.Lock()
-	_, ok := ep.regions[h.Region]
+	data, ok := ep.regions[h.Region]
 	delete(ep.regions, h.Region)
 	ep.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("dart: region %d not registered on endpoint %d", h.Region, ep.id)
+		return nil, fmt.Errorf("dart: region %d not registered on endpoint %d", h.Region, ep.id)
 	}
 	ep.post(Event{Type: EventUnregistered, Handle: h, Peer: ep.id})
-	return nil
+	return data, nil
 }
 
 func (ep *Endpoint) region(id int) ([]byte, error) {
@@ -212,8 +222,11 @@ func (ep *Endpoint) post(ev Event) {
 }
 
 // Get performs a blocking one-sided read of the remote region named by
-// h into a freshly allocated buffer, posting completion events at both
+// h into a pool-recycled buffer, posting completion events at both
 // endpoints. It returns the data and the modeled transfer duration.
+// The returned buffer comes from bufpool: once the consumer is done
+// with it (and has not retained it), handing it to bufpool.Put makes
+// the steady-state transfer path allocation-free.
 func (ep *Endpoint) Get(h MemHandle) ([]byte, time.Duration, error) {
 	owner, err := ep.f.lookup(h.Endpoint)
 	if err != nil {
@@ -223,7 +236,8 @@ func (ep *Endpoint) Get(h MemHandle) ([]byte, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	data, d := ep.f.net.Transfer(src)
+	data := bufpool.Get(len(src))
+	d := ep.f.net.TransferInto(data, src)
 	path := ep.f.net.Select(len(src))
 	ev := Event{Type: EventGetDone, Handle: h, Bytes: len(src), Duration: d, Path: path}
 	evSrc := ev
@@ -269,10 +283,15 @@ func (ep *Endpoint) Put(h MemHandle, data []byte) (time.Duration, error) {
 	if len(data) > len(dst) {
 		return 0, fmt.Errorf("dart: put of %d bytes into region of %d bytes", len(data), len(dst))
 	}
-	moved, d := ep.f.net.Transfer(data)
+	// Stage through pooled scratch so the wire copy (and any modeled
+	// sleep inside TransferInto) happens outside the owner's lock, then
+	// recycle the scratch: the put path allocates nothing.
+	scratch := bufpool.Get(len(data))
+	d := ep.f.net.TransferInto(scratch, data)
 	owner.mu.Lock()
-	copy(dst, moved)
+	copy(dst, scratch)
 	owner.mu.Unlock()
+	bufpool.Put(scratch)
 	path := ep.f.net.Select(len(data))
 	ev := Event{Type: EventPutDone, Handle: h, Bytes: len(data), Duration: d, Path: path}
 	evSrc := ev

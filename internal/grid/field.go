@@ -1,7 +1,6 @@
 package grid
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -45,29 +44,72 @@ func (f *Field) Clone() *Field {
 // Extract copies the sub-box sub (which must be contained in f.Box)
 // into a newly allocated field.
 func (f *Field) Extract(sub Box) *Field {
+	return f.ExtractInto(sub, nil)
+}
+
+// ExtractInto copies the sub-box sub (which must be contained in
+// f.Box) into dst, reusing dst's Data slice when its capacity
+// suffices — the allocation-free fast path of the per-timestep
+// transfer pipeline. dst may be nil or empty, in which case a fresh
+// field is allocated. The (possibly re-sliced) destination is
+// returned. The row loop carries running source/destination offsets
+// instead of recomputing Box.Index per row.
+func (f *Field) ExtractInto(sub Box, dst *Field) *Field {
 	if !f.Box.ContainsBox(sub) {
 		panic(fmt.Sprintf("grid: extract %v outside field box %v", sub, f.Box))
 	}
-	g := NewField(f.Name, sub)
-	for k := sub.Lo[2]; k < sub.Hi[2]; k++ {
-		for j := sub.Lo[1]; j < sub.Hi[1]; j++ {
-			srcOff := f.Box.Index(sub.Lo[0], j, k)
-			dstOff := sub.Index(sub.Lo[0], j, k)
-			copy(g.Data[dstOff:dstOff+sub.Hi[0]-sub.Lo[0]], f.Data[srcOff:srcOff+sub.Hi[0]-sub.Lo[0]])
-		}
+	if dst == nil {
+		dst = &Field{}
 	}
-	return g
+	n := sub.Size()
+	if cap(dst.Data) >= n {
+		dst.Data = dst.Data[:n]
+	} else {
+		dst.Data = make([]float64, n)
+	}
+	dst.Name = f.Name
+	dst.Box = sub
+	sd := f.Box.Dims()
+	rowLen := sub.Hi[0] - sub.Lo[0]
+	srcYStride := sd[0]
+	srcZStride := sd[0] * sd[1]
+	srcPlane := f.Box.Index(sub.Lo[0], sub.Lo[1], sub.Lo[2])
+	dstOff := 0
+	for k := sub.Lo[2]; k < sub.Hi[2]; k++ {
+		srcOff := srcPlane
+		for j := sub.Lo[1]; j < sub.Hi[1]; j++ {
+			copy(dst.Data[dstOff:dstOff+rowLen], f.Data[srcOff:srcOff+rowLen])
+			srcOff += srcYStride
+			dstOff += rowLen
+		}
+		srcPlane += srcZStride
+	}
+	return dst
 }
 
-// Paste copies the overlap of src into f.
+// Paste copies the overlap of src into f. As in ExtractInto, the row
+// loop carries running offsets rather than calling Box.Index per row.
 func (f *Field) Paste(src *Field) {
 	ov := f.Box.Intersect(src.Box)
+	if ov.Empty() {
+		return
+	}
+	sd := src.Box.Dims()
+	dd := f.Box.Dims()
+	rowLen := ov.Hi[0] - ov.Lo[0]
+	srcYStride, srcZStride := sd[0], sd[0]*sd[1]
+	dstYStride, dstZStride := dd[0], dd[0]*dd[1]
+	srcPlane := src.Box.Index(ov.Lo[0], ov.Lo[1], ov.Lo[2])
+	dstPlane := f.Box.Index(ov.Lo[0], ov.Lo[1], ov.Lo[2])
 	for k := ov.Lo[2]; k < ov.Hi[2]; k++ {
+		srcOff, dstOff := srcPlane, dstPlane
 		for j := ov.Lo[1]; j < ov.Hi[1]; j++ {
-			srcOff := src.Box.Index(ov.Lo[0], j, k)
-			dstOff := f.Box.Index(ov.Lo[0], j, k)
-			copy(f.Data[dstOff:dstOff+ov.Hi[0]-ov.Lo[0]], src.Data[srcOff:srcOff+ov.Hi[0]-ov.Lo[0]])
+			copy(f.Data[dstOff:dstOff+rowLen], src.Data[srcOff:srcOff+rowLen])
+			srcOff += srcYStride
+			dstOff += dstYStride
 		}
+		srcPlane += srcZStride
+		dstPlane += dstZStride
 	}
 }
 
@@ -111,6 +153,50 @@ func (f *Field) Downsample(factor int) *Field {
 	return g
 }
 
+// DownsampleBox returns region (which must be contained in f.Box)
+// restricted to every factor-th global grid point, without
+// materializing the intermediate Extract — the single-pass form of
+// Extract(region).Downsample(factor) on the per-timestep hybrid
+// visualization path. The inner loop walks running source offsets
+// instead of calling Box.Index per point.
+func (f *Field) DownsampleBox(region Box, factor int) *Field {
+	if factor < 1 {
+		panic("grid: downsample factor must be >= 1")
+	}
+	if !f.Box.ContainsBox(region) {
+		panic(fmt.Sprintf("grid: downsample region %v outside field box %v", region, f.Box))
+	}
+	var sub Box
+	for d := 0; d < 3; d++ {
+		sub.Lo[d] = ceilDiv(region.Lo[d], factor)
+		sub.Hi[d] = ceilDiv(region.Hi[d], factor)
+	}
+	g := NewField(f.Name, sub)
+	sd := f.Box.Dims()
+	xStride := factor
+	yStride := factor * sd[0]
+	zStride := factor * sd[0] * sd[1]
+	dstOff := 0
+	if sub.Empty() {
+		return g
+	}
+	srcPlane := f.Box.Index(sub.Lo[0]*factor, sub.Lo[1]*factor, sub.Lo[2]*factor)
+	for k := sub.Lo[2]; k < sub.Hi[2]; k++ {
+		srcRow := srcPlane
+		for j := sub.Lo[1]; j < sub.Hi[1]; j++ {
+			srcOff := srcRow
+			for i := sub.Lo[0]; i < sub.Hi[0]; i++ {
+				g.Data[dstOff] = f.Data[srcOff]
+				dstOff++
+				srcOff += xStride
+			}
+			srcRow += yStride
+		}
+		srcPlane += zStride
+	}
+	return g
+}
+
 // Sample returns the trilinearly interpolated value at the continuous
 // position (x,y,z) in the field's global index space. Positions outside
 // the box are clamped to it.
@@ -143,31 +229,51 @@ func (f *Field) Sample(x, y, z float64) float64 {
 // (8 bytes per point), used for data-movement accounting.
 func (f *Field) Bytes() int { return 8 * len(f.Data) }
 
+// MarshalSize returns the exact encoded size of the field, so callers
+// can size destination buffers (typically from bufpool) up front.
+func (f *Field) MarshalSize() int {
+	return 4 + len(f.Name) + 7*8 + 8*len(f.Data)
+}
+
+// AppendMarshal appends the field's encoding (name, box, data) to dst
+// and returns the extended slice. The float64 payload is encoded by
+// writing math.Float64bits words straight into the destination — no
+// intermediate bytes.Buffer, no per-value staging array — so a
+// preallocated dst makes the pack a single pass with zero allocations.
+func (f *Field) AppendMarshal(dst []byte) []byte {
+	off := len(dst)
+	need := f.MarshalSize()
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(f.Name)))
+	off += 4
+	copy(dst[off:], f.Name)
+	off += len(f.Name)
+	for d := 0; d < 3; d++ {
+		binary.LittleEndian.PutUint64(dst[off:], uint64(int64(f.Box.Lo[d])))
+		off += 8
+	}
+	for d := 0; d < 3; d++ {
+		binary.LittleEndian.PutUint64(dst[off:], uint64(int64(f.Box.Hi[d])))
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(dst[off:], uint64(len(f.Data)))
+	off += 8
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+		off += 8
+	}
+	return dst
+}
+
 // Marshal serializes the field (name, box, data) into a compact binary
 // form suitable for DART transfers and BP files.
 func (f *Field) Marshal() []byte {
-	var buf bytes.Buffer
-	name := []byte(f.Name)
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(name)))
-	buf.Write(hdr[:])
-	buf.Write(name)
-	var b8 [8]byte
-	for d := 0; d < 3; d++ {
-		binary.LittleEndian.PutUint64(b8[:], uint64(int64(f.Box.Lo[d])))
-		buf.Write(b8[:])
-	}
-	for d := 0; d < 3; d++ {
-		binary.LittleEndian.PutUint64(b8[:], uint64(int64(f.Box.Hi[d])))
-		buf.Write(b8[:])
-	}
-	binary.LittleEndian.PutUint64(b8[:], uint64(len(f.Data)))
-	buf.Write(b8[:])
-	for _, v := range f.Data {
-		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
-		buf.Write(b8[:])
-	}
-	return buf.Bytes()
+	return f.AppendMarshal(make([]byte, 0, f.MarshalSize()))
 }
 
 // UnmarshalField reconstructs a field from Marshal's output.

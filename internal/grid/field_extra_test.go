@@ -1,0 +1,110 @@
+package grid
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestExtractIntoReusesDestination(t *testing.T) {
+	b := NewBox(8, 6, 5)
+	f := NewField("T", b)
+	for idx := range f.Data {
+		f.Data[idx] = float64(idx)
+	}
+	sub := Box{Lo: [3]int{1, 2, 1}, Hi: [3]int{6, 5, 4}}
+	want := f.Extract(sub)
+
+	dst := NewField("scratch", NewBox(10, 10, 10)) // larger capacity
+	backing := &dst.Data[0]
+	got := f.ExtractInto(sub, dst)
+	if got != dst {
+		t.Fatal("ExtractInto must return the destination field")
+	}
+	if &got.Data[0] != backing {
+		t.Fatal("ExtractInto must reuse the destination's backing array when it fits")
+	}
+	if got.Name != f.Name || got.Box != sub {
+		t.Fatalf("header wrong: %q %v", got.Name, got.Box)
+	}
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("length %d, want %d", len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("data mismatch at %d", i)
+		}
+	}
+
+	// A too-small destination must still work (fresh allocation).
+	small := &Field{Name: "s", Data: make([]float64, 1)}
+	got2 := f.ExtractInto(sub, small)
+	for i := range want.Data {
+		if got2.Data[i] != want.Data[i] {
+			t.Fatalf("grown-destination mismatch at %d", i)
+		}
+	}
+}
+
+func TestDownsampleBoxMatchesExtractThenDownsample(t *testing.T) {
+	b := NewBox(16, 12, 9)
+	f := NewField("T", b)
+	rng := rand.New(rand.NewSource(7))
+	for idx := range f.Data {
+		f.Data[idx] = rng.NormFloat64()
+	}
+	for _, factor := range []int{1, 2, 3} {
+		region := Box{Lo: [3]int{3, 1, 2}, Hi: [3]int{14, 11, 8}}
+		want := f.Extract(region).Downsample(factor)
+		got := f.DownsampleBox(region, factor)
+		if got.Box != want.Box {
+			t.Fatalf("factor %d: box %v, want %v", factor, got.Box, want.Box)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("factor %d: data mismatch at %d", factor, i)
+			}
+		}
+	}
+}
+
+func TestAppendMarshalExactSizeAndPrefix(t *testing.T) {
+	b := Box{Lo: [3]int{1, 2, 3}, Hi: [3]int{5, 6, 7}}
+	f := NewField("pressure", b)
+	rng := rand.New(rand.NewSource(3))
+	for idx := range f.Data {
+		f.Data[idx] = rng.NormFloat64()
+	}
+	plain := f.Marshal()
+	if len(plain) != f.MarshalSize() {
+		t.Fatalf("MarshalSize %d but Marshal produced %d bytes", f.MarshalSize(), len(plain))
+	}
+	// Appending after a prefix must leave the prefix intact and encode
+	// identically.
+	prefix := []byte("HDR!")
+	out := f.AppendMarshal(append([]byte{}, prefix...))
+	if !bytes.Equal(out[:4], prefix) {
+		t.Fatal("AppendMarshal clobbered the prefix")
+	}
+	if !bytes.Equal(out[4:], plain) {
+		t.Fatal("AppendMarshal encoding differs from Marshal")
+	}
+	// Into a presized buffer no growth may occur.
+	dst := make([]byte, 0, f.MarshalSize())
+	out2 := f.AppendMarshal(dst)
+	if &out2[0] != &dst[:1][0] {
+		t.Fatal("AppendMarshal must not reallocate a sufficient buffer")
+	}
+	g, err := UnmarshalField(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != f.Name || g.Box != f.Box {
+		t.Fatalf("round trip header mismatch: %q %v", g.Name, g.Box)
+	}
+	for i := range f.Data {
+		if g.Data[i] != f.Data[i] {
+			t.Fatalf("round trip data mismatch at %d", i)
+		}
+	}
+}

@@ -149,6 +149,16 @@ func (n *Network) Cost(size int) (time.Duration, Path) {
 // point all simulated RDMA traffic flows through.
 func (n *Network) Transfer(src []byte) ([]byte, time.Duration) {
 	dst := make([]byte, len(src))
+	return dst, n.TransferInto(dst, src)
+}
+
+// TransferInto copies src into the caller-provided dst (whose length
+// must be at least len(src)), accounts the modeled cost, optionally
+// sleeps the scaled duration, and returns the modeled duration. This
+// is the zero-allocation variant DART's pooled Get/Put path uses: the
+// destination comes from the byte-buffer pool instead of a fresh
+// allocation per transfer.
+func (n *Network) TransferInto(dst, src []byte) time.Duration {
 	copy(dst, src)
 	d, p := n.Cost(len(src))
 	n.bytesMoved.Add(int64(len(src)))
@@ -166,7 +176,7 @@ func (n *Network) Transfer(src []byte) ([]byte, time.Duration) {
 			time.Sleep(time.Duration(float64(d) / n.cfg.TimeScale))
 		}
 	}
-	return dst, d
+	return d
 }
 
 // Stats is a snapshot of fabric counters.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"insitu/internal/bufpool"
 	"insitu/internal/grid"
 )
 
@@ -71,16 +72,17 @@ func (bt *BlockTable) ValueRange() (lo, hi float64) {
 }
 
 // locate returns the index of the block containing continuous point p,
-// or -1. The last-hit cache makes the common case O(1) because ray
-// samples are spatially coherent.
-func (bt *BlockTable) locate(x, y, z float64) int {
+// or -1. The last-hit cache (per cursor, so concurrent row bands never
+// share it) makes the common case O(1) because ray samples are
+// spatially coherent.
+func (bt *BlockTable) locate(last *int, x, y, z float64) int {
 	p := [3]float64{x, y, z}
-	if bt.last >= 0 && contains(bt.entries[bt.last].box, p) {
-		return bt.last
+	if *last >= 0 && contains(bt.entries[*last].box, p) {
+		return *last
 	}
 	for i := range bt.entries {
 		if contains(bt.entries[i].box, p) {
-			bt.last = i
+			*last = i
 			return i
 		}
 	}
@@ -91,13 +93,35 @@ func (bt *BlockTable) locate(x, y, z float64) int {
 // index space, interpolating within the containing block (clamped at
 // block faces: the down-sampled blocks carry no ghost layers, which is
 // part of the fidelity trade-off the hybrid algorithm accepts).
+// Sample mutates the table's shared last-hit cache and is therefore
+// not safe for concurrent use; the renderer obtains an independent
+// tableCursor per row band instead.
 func (bt *BlockTable) Sample(x, y, z float64) float64 {
-	i := bt.locate(x, y, z)
+	i := bt.locate(&bt.last, x, y, z)
 	if i < 0 {
 		return math.Inf(-1) // outside every block: transparent
 	}
 	return bt.entries[i].field.Sample(x, y, z)
 }
+
+// tableCursor is a per-band view of a BlockTable with a private
+// last-hit cache, handed to each rendering worker.
+type tableCursor struct {
+	bt   *BlockTable
+	last int
+}
+
+// Sample implements sampler over the cursor's private cache.
+func (c *tableCursor) Sample(x, y, z float64) float64 {
+	i := c.bt.locate(&c.last, x, y, z)
+	if i < 0 {
+		return math.Inf(-1)
+	}
+	return c.bt.entries[i].field.Sample(x, y, z)
+}
+
+// bandSampler hands each rendering row band an independent cursor.
+func (bt *BlockTable) bandSampler() sampler { return &tableCursor{bt: bt, last: -1} }
 
 // RenderTable runs the serial in-transit ray caster over the assembled
 // table. The caller passes a Renderer framed for the *down-sampled*
@@ -112,9 +136,11 @@ func (r *Renderer) RenderTable(bt *BlockTable) (*Image, error) {
 // DownsampleForTransit is the in-situ stage of the hybrid algorithm:
 // restrict the rank's owned block to every factor-th grid point and
 // marshal it for the staging transfer. It returns the payload and its
-// size in bytes.
+// size in bytes. The payload buffer comes from bufpool (the transfer
+// path recycles it once the staging bucket has pulled the data) and
+// the down-sample runs in one pass without the intermediate Extract.
 func DownsampleForTransit(f *grid.Field, owned grid.Box, factor int) ([]byte, int) {
-	ds := f.Extract(owned).Downsample(factor)
-	p := ds.Marshal()
+	ds := f.DownsampleBox(owned, factor)
+	p := ds.AppendMarshal(bufpool.Get(ds.MarshalSize())[:0])
 	return p, len(p)
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"insitu/internal/grid"
+	"insitu/internal/parallel"
 )
 
 // Renderer holds the shared view parameters of one rendering
@@ -19,6 +20,11 @@ type Renderer struct {
 	Up            [3]float64 // up hint
 	Step          float64    // sampling distance along the ray
 	Global        grid.Box   // full domain, defines the camera framing
+	// Workers bounds the ray-casting worker pool: 0 selects
+	// GOMAXPROCS, 1 forces the serial path. Every pixel is an
+	// independent ray, so the parallel render is bitwise identical to
+	// the serial one at any width.
+	Workers int
 }
 
 // NewRenderer validates and normalizes the configuration.
@@ -101,6 +107,21 @@ type sampler interface {
 	Sample(x, y, z float64) float64
 }
 
+// bandSampler is implemented by samplers whose Sample carries mutable
+// per-ray state (the block table's last-hit cache): renderWith asks
+// for one independent view per row band so bands never share state.
+type bandSampler interface {
+	bandSampler() sampler
+}
+
+// pool returns the worker pool the renderer casts rays with.
+func (r *Renderer) pool() *parallel.Pool {
+	if r.Workers == 0 {
+		return parallel.Default
+	}
+	return parallel.New(r.Workers)
+}
+
 // renderWith casts all rays, accumulating only samples whose position
 // lies inside clip. Sample positions along a ray are t = k*Step from
 // the globally anchored ray origin, identical regardless of clip, so
@@ -108,11 +129,29 @@ type sampler interface {
 // ray's march to the clip box's parametric interval; the exact
 // half-open containment check still guards every sample, so clipping
 // is purely an optimization.
+//
+// The image is split into contiguous row bands casted concurrently by
+// the worker pool. Rays are mutually independent and each band writes
+// a disjoint pixel range, so the result is bitwise identical to the
+// serial render at any pool width; compositing order is untouched
+// because parallelism never crosses an image boundary.
 func (r *Renderer) renderWith(src sampler, clip grid.Box) *Image {
 	img := NewImage(r.Width, r.Height)
 	right, up, center, radius := r.camera()
 	tMax := 2 * radius
-	for py := 0; py < r.Height; py++ {
+	r.pool().ForBlocks(r.Height, func(_, loRow, hiRow int) {
+		band := src
+		if bs, ok := src.(bandSampler); ok {
+			band = bs.bandSampler()
+		}
+		r.renderRows(band, clip, img, right, up, center, radius, tMax, loRow, hiRow)
+	})
+	return img
+}
+
+// renderRows casts the rays of rows [loRow, hiRow).
+func (r *Renderer) renderRows(src sampler, clip grid.Box, img *Image, right, up, center [3]float64, radius, tMax float64, loRow, hiRow int) {
+	for py := loRow; py < hiRow; py++ {
 		for px := 0; px < r.Width; px++ {
 			sx := (float64(px)+0.5)/float64(r.Width) - 0.5
 			sy := 0.5 - (float64(py)+0.5)/float64(r.Height)
@@ -157,7 +196,6 @@ func (r *Renderer) renderWith(src sampler, clip grid.Box) *Image {
 			img.Set(px, py, cr, cg, cb, ca)
 		}
 	}
-	return img
 }
 
 // raySlab intersects the ray origin + t*dir with the box over

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"insitu/internal/bufpool"
 	"insitu/internal/dart"
 	"insitu/internal/dataspaces"
 )
@@ -81,6 +82,18 @@ func WithResultBuffer(n int) Option {
 	return func(a *Area) { a.resultCap = n }
 }
 
+// WithPooledBuffers makes the buckets return pulled input payloads to
+// the shared byte-buffer pool once the handler has finished with them,
+// closing the Get-side of the zero-allocation transfer loop. It is
+// opt-in because it imposes an ownership rule on handlers: a handler
+// must not retain an input slice (or a sub-slice of it) past its
+// return — it must copy anything it keeps. Every in-transit handler in
+// core obeys this (they all decode payloads into their own structures),
+// so the standard Pipeline enables the option.
+func WithPooledBuffers() Option {
+	return func(a *Area) { a.pooled = true }
+}
+
 // Area is a running staging area.
 type Area struct {
 	svc    *dart.Fabric
@@ -94,6 +107,7 @@ type Area struct {
 	release  func(dataspaces.Descriptor)
 
 	resultCap int
+	pooled    bool
 	results   chan Result
 	wg        sync.WaitGroup
 
@@ -240,6 +254,11 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, task dataspaces.Task) Result {
 	}
 	computeStart := time.Now()
 	out, err := safeHandler(func() (any, error) { return h(task, data) })
+	if a.pooled {
+		for _, p := range data {
+			bufpool.Put(p)
+		}
+	}
 	res.ComputeWall = time.Since(computeStart)
 	res.Output = out
 	res.Err = err
@@ -299,6 +318,7 @@ func (a *Area) runStreamTask(id int, ep *dart.Endpoint, task dataspaces.Task, sh
 		}(i, in.Handle)
 	}
 	var pullErr error
+	var delivered [][]byte
 	for range task.Inputs {
 		m := <-merged
 		if m.r.Err != nil {
@@ -312,6 +332,9 @@ func (a *Area) runStreamTask(id int, ep *dart.Endpoint, task dataspaces.Task, sh
 		if m.r.Duration > res.MoveModeled {
 			res.MoveModeled = m.r.Duration
 		}
+		if a.pooled {
+			delivered = append(delivered, m.r.Data)
+		}
 		inputs <- StreamInput{Index: m.i, Rank: task.Inputs[m.i].Rank, Data: m.r.Data}
 	}
 	close(inputs)
@@ -322,6 +345,11 @@ func (a *Area) runStreamTask(id int, ep *dart.Endpoint, task dataspaces.Task, sh
 		}
 	}
 	oc := <-done
+	// The handler has returned, so under the ownership rule it no
+	// longer references any input; recycle the delivered buffers.
+	for _, p := range delivered {
+		bufpool.Put(p)
+	}
 	res.ComputeWall = time.Since(computeStart)
 	res.Output = oc.out
 	res.Err = oc.err

@@ -1,10 +1,11 @@
 package stats
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"insitu/internal/parallel"
 )
 
 // Contingency is a single-pass bivariate contingency table over
@@ -66,6 +67,38 @@ func (c *Contingency) UpdateBatch(xs, ys []float64) error {
 	}
 	for i := range xs {
 		c.Update(xs[i], ys[i])
+	}
+	return nil
+}
+
+// UpdateBatchParallel bins paired slices across the shared worker
+// pool: each fixed-width chunk fills a private table, and the tables
+// merge by cellwise addition in chunk order. Counts are integers, so
+// the result is bitwise identical to UpdateBatch at any pool width.
+func (c *Contingency) UpdateBatchParallel(xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("stats: contingency batch length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) <= updateChunk {
+		return c.UpdateBatch(xs, ys)
+	}
+	nc := (len(xs) + updateChunk - 1) / updateChunk
+	parts := make([]*Contingency, nc)
+	parallel.ForChunks(len(xs), updateChunk, func(ch, lo, hi int) {
+		p := &Contingency{
+			XLo: c.XLo, XHi: c.XHi, YLo: c.YLo, YHi: c.YHi,
+			XBins: c.XBins, YBins: c.YBins,
+			Counts: make([]int64, c.XBins*c.YBins),
+		}
+		for i := lo; i < hi; i++ {
+			p.Update(xs[i], ys[i])
+		}
+		parts[ch] = p
+	})
+	for _, p := range parts {
+		if err := c.Combine(p); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -158,24 +191,38 @@ func (c *Contingency) Derive() ContingencyDerived {
 	return d
 }
 
+// MarshalSize returns the exact encoded size of the table.
+func (c *Contingency) MarshalSize() int { return 7*8 + 8*len(c.Counts) }
+
+// AppendMarshal appends the table's encoding to dst and returns the
+// extended slice; with a preallocated dst the pack is allocation-free.
+func (c *Contingency) AppendMarshal(dst []byte) []byte {
+	off := len(dst)
+	need := c.MarshalSize()
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	for _, f := range []float64{c.XLo, c.XHi, c.YLo, c.YHi} {
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(f))
+		off += 8
+	}
+	for _, v := range []uint64{uint64(c.XBins), uint64(c.YBins), uint64(c.N)} {
+		binary.LittleEndian.PutUint64(dst[off:], v)
+		off += 8
+	}
+	for _, v := range c.Counts {
+		binary.LittleEndian.PutUint64(dst[off:], uint64(v))
+		off += 8
+	}
+	return dst
+}
+
 // Marshal serializes the table.
 func (c *Contingency) Marshal() []byte {
-	var buf bytes.Buffer
-	var b8 [8]byte
-	putU := func(v uint64) {
-		binary.LittleEndian.PutUint64(b8[:], v)
-		buf.Write(b8[:])
-	}
-	for _, f := range []float64{c.XLo, c.XHi, c.YLo, c.YHi} {
-		putU(math.Float64bits(f))
-	}
-	putU(uint64(c.XBins))
-	putU(uint64(c.YBins))
-	putU(uint64(c.N))
-	for _, v := range c.Counts {
-		putU(uint64(v))
-	}
-	return buf.Bytes()
+	return c.AppendMarshal(make([]byte, 0, c.MarshalSize()))
 }
 
 // UnmarshalContingency reverses Marshal.

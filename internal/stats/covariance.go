@@ -81,14 +81,14 @@ const covWireSize = 6 * 8
 
 // Marshal serializes the accumulator.
 func (c *Covariance) Marshal() []byte {
-	var buf bytes.Buffer
-	var b8 [8]byte
-	binary.LittleEndian.PutUint64(b8[:], uint64(c.N))
-	buf.Write(b8[:])
+	out := make([]byte, covWireSize)
+	binary.LittleEndian.PutUint64(out, uint64(c.N))
+	off := 8
 	for _, v := range []float64{c.MeanX, c.MeanY, c.M2X, c.M2Y, c.CXY} {
-		putF(&buf, v)
+		binary.LittleEndian.PutUint64(out[off:], math.Float64bits(v))
+		off += 8
 	}
-	return buf.Bytes()
+	return out
 }
 
 // UnmarshalCovariance reconstructs an accumulator.

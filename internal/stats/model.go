@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -47,6 +46,15 @@ func (mo *Model) LearnField(f *grid.Field) {
 	mo.Var(f.Name).UpdateBatch(f.Data)
 }
 
+// LearnFieldParallel folds every point of a field into the variable
+// named by the field using the chunk-parallel moment kernel. The
+// result is width-independent (fixed chunk partition, ordered
+// Combine) and matches LearnField bitwise for fields smaller than one
+// chunk; larger fields agree to floating-point reassociation.
+func (mo *Model) LearnFieldParallel(f *grid.Field) {
+	mo.Var(f.Name).UpdateBatchParallel(f.Data)
+}
+
 // LearnFields folds a set of fields.
 func (mo *Model) LearnFields(fs []*grid.Field) {
 	for _, f := range fs {
@@ -73,10 +81,45 @@ func (mo *Model) DeriveAll() map[string]Derived {
 // momentsWireSize is the fixed encoding size of one Moments record.
 const momentsWireSize = 7 * 8
 
-func putF(buf *bytes.Buffer, v float64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	buf.Write(b[:])
+// MarshalSize returns the exact encoded size of the model.
+func (mo *Model) MarshalSize() int {
+	n := 4
+	for _, name := range mo.order {
+		n += 4 + len(name) + momentsWireSize
+	}
+	return n
+}
+
+// AppendMarshal appends the model's encoding to dst and returns the
+// extended slice. Encoding writes Float64bits words directly into the
+// destination; with a preallocated dst the pack is allocation-free
+// apart from the sorted name list.
+func (mo *Model) AppendMarshal(dst []byte) []byte {
+	names := mo.Names()
+	off := len(dst)
+	need := mo.MarshalSize()
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(names)))
+	off += 4
+	for _, name := range names {
+		binary.LittleEndian.PutUint32(dst[off:], uint32(len(name)))
+		off += 4
+		copy(dst[off:], name)
+		off += len(name)
+		m := mo.vars[name]
+		binary.LittleEndian.PutUint64(dst[off:], uint64(m.N))
+		off += 8
+		for _, v := range []float64{m.Min, m.Max, m.Mean, m.M2, m.M3, m.M4} {
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return dst
 }
 
 // Marshal serializes the model into the compact binary form shipped to
@@ -84,27 +127,7 @@ func putF(buf *bytes.Buffer, v float64) {
 // few hundred bytes per rank — the data reduction that makes the
 // hybrid statistics variant nearly free to move.
 func (mo *Model) Marshal() []byte {
-	var buf bytes.Buffer
-	names := mo.Names()
-	var b4 [4]byte
-	binary.LittleEndian.PutUint32(b4[:], uint32(len(names)))
-	buf.Write(b4[:])
-	for _, name := range names {
-		binary.LittleEndian.PutUint32(b4[:], uint32(len(name)))
-		buf.Write(b4[:])
-		buf.WriteString(name)
-		m := mo.vars[name]
-		var b8 [8]byte
-		binary.LittleEndian.PutUint64(b8[:], uint64(m.N))
-		buf.Write(b8[:])
-		putF(&buf, m.Min)
-		putF(&buf, m.Max)
-		putF(&buf, m.Mean)
-		putF(&buf, m.M2)
-		putF(&buf, m.M3)
-		putF(&buf, m.M4)
-	}
-	return buf.Bytes()
+	return mo.AppendMarshal(make([]byte, 0, mo.MarshalSize()))
 }
 
 // UnmarshalModel reconstructs a model from Marshal's output.

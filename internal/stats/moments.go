@@ -11,6 +11,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"insitu/internal/parallel"
 )
 
 // Moments is the primary statistical model for one variable: the
@@ -63,6 +65,38 @@ func (m *Moments) Update(x float64) {
 func (m *Moments) UpdateBatch(xs []float64) {
 	for _, x := range xs {
 		m.Update(x)
+	}
+}
+
+// updateChunk is the observation-count threshold above which the batch
+// kernels go parallel, and the fixed partition width they use. Because
+// the partition depends only on the input length — never on the worker
+// count — the chunked result is identical on every machine: per-chunk
+// partial models are combined in ascending chunk order, the paper's
+// in-situ reduction shape (learn is "the only stage that requires
+// inter-process communication"; Combine is its pairwise update).
+const updateChunk = 1 << 14
+
+// UpdateBatchParallel folds a slice of observations into the model
+// using the shared worker pool: each fixed-width chunk accumulates an
+// independent partial model, and the partials fold into m in chunk
+// order via Combine. The result is deterministic (width-independent)
+// and agrees with UpdateBatch to floating-point reassociation — the
+// acceptance bound is 1e-12 on derived moments. Inputs shorter than
+// one chunk take the serial path and match UpdateBatch bitwise.
+func (m *Moments) UpdateBatchParallel(xs []float64) {
+	if len(xs) <= updateChunk {
+		m.UpdateBatch(xs)
+		return
+	}
+	nc := (len(xs) + updateChunk - 1) / updateChunk
+	parts := make([]Moments, nc)
+	parallel.ForChunks(len(xs), updateChunk, func(c, lo, hi int) {
+		parts[c] = Moments{Min: math.Inf(1), Max: math.Inf(-1)}
+		parts[c].UpdateBatch(xs[lo:hi])
+	})
+	for c := range parts {
+		m.Combine(&parts[c])
 	}
 }
 
