@@ -3,10 +3,13 @@
 #   make test       fast inner loop (build + tests, no race)
 #   make bench      the paper-table benches
 #   make bench-par  parallel-kernel / pooled-transfer benches (BENCH_PR1.json)
+#   make chaos      race-enabled chaos suite: fixed-seed soak (50 steps
+#                   under drops/timeouts/corruption/partition/crash)
+#                   plus a short randomized-seed smoke
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par
+.PHONY: tier1 vet build test race bench bench-par chaos
 
 tier1: vet build test race
 
@@ -27,3 +30,7 @@ bench:
 
 bench-par:
 	$(GO) test -run xxx -bench 'Parallel|Pooled|Unpooled' -benchmem .
+
+chaos:
+	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/core/
+	CHAOS_SMOKE=1 $(GO) test -race -run TestChaosSmoke -count=1 -v ./internal/core/

@@ -79,6 +79,25 @@ type hybridStage interface {
 	InSituStage(ctx *Ctx) ([]byte, error)
 }
 
+// InSituFallback is an optional extension of hybrid analyses: when the
+// pipeline decides the transit path is unhealthy (partition detected by
+// the health probe, or a task dead-lettered), it runs RunFallback —
+// the fully in-situ reformulation of the same analysis — on the
+// simulation ranks instead of blocking on staging. The step's stored
+// result is then a Degraded value wrapping the fallback output.
+type InSituFallback interface {
+	RunFallback(ctx *Ctx) (any, error)
+}
+
+// Degraded is the stored result of a hybrid analysis step that could
+// not use the transit path. Value holds the in-situ fallback's output
+// (nil when the analysis provides no fallback, or when the step was
+// dead-lettered after the data had already left the ranks).
+type Degraded struct {
+	Reason string
+	Value  any
+}
+
 // due reports whether an analysis runs at a step (steps are 1-based;
 // cadence n means steps n, 2n, ...).
 func due(a Analysis, step int) bool {

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"insitu/internal/faults"
+	"insitu/internal/stats"
+)
+
+// chaosSteps is the soak length: at least 50 pipeline steps under
+// active fault injection.
+const chaosSteps = 50
+
+// runChaos drives a full hybrid pipeline through a fault storm —
+// random drops, timeouts and corruptions, one link-partition window
+// cutting off both staging buckets, and one bucket crash — and checks
+// the robustness contract: the run terminates (no deadlock), every
+// step's result is either correct or explicitly Degraded, every
+// injected corruption is caught by the checksum framing, and nothing
+// leaks. Sequence-level seed determinism is asserted directly in the
+// faults package tests; here the same seed re-runs the same schedule.
+func runChaos(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	simCfg := testSimConfig(2, 1, 1)
+	cfg := DefaultConfig(simCfg)
+	cfg.DSServers = 2
+	cfg.Buckets = 2
+	cfg.StepBudget = 200 * time.Millisecond
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets register first, so endpoints 0 and 1 are the staging
+	// buckets; the partition window cuts both off, which the step
+	// probe must detect and answer with in-situ fallbacks.
+	// The partition window is placed in decision-index space relative
+	// to the run length: each step costs at least one probe decision
+	// plus the task pulls, so [steps, steps+40) opens partway through
+	// any run and closes well before the drain.
+	inj := faults.New(faults.Config{
+		Seed:    seed,
+		Default: faults.Rates{Drop: 0.05, Timeout: 0.03, Corrupt: 0.05},
+		Partitions: []faults.Window{
+			{From: steps, Until: steps + 40, Endpoints: []int{0, 1}},
+		},
+	})
+	p.Network().SetFaults(inj)
+
+	sa := &StatsHybrid{Vars: []string{"T"}, EveryN: 1}
+	p.Register(sa)
+
+	// One deterministic bucket crash: the closed kill channel fires at
+	// bucket 0's first task assignment, requeueing the task and
+	// respawning the bucket.
+	p.Staging().CrashBucket(0)
+
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := p.Run(steps)
+		done <- outcome{rep, err}
+	}()
+	var rep *Report
+	select {
+	case oc := <-done:
+		if oc.err != nil {
+			t.Fatalf("chaos run failed hard: %v", oc.err)
+		}
+		rep = oc.rep
+	case <-time.After(120 * time.Second):
+		t.Fatal("chaos run deadlocked")
+	}
+
+	// Every step must be accounted for: a correct result or an
+	// explicit Degraded marker — never silently missing.
+	npts := int64(simCfg.Global.Size())
+	checkDerived := func(step int, v any) {
+		m, ok := v.(map[string]stats.Derived)
+		if !ok {
+			t.Errorf("step %d: unexpected result type %T", step, v)
+			return
+		}
+		d := m["T"]
+		if d.N != npts {
+			t.Errorf("step %d: derived over %d points, want %d", step, d.N, npts)
+		}
+		if math.IsNaN(d.Mean) || math.IsInf(d.Mean, 0) {
+			t.Errorf("step %d: non-finite mean %v", step, d.Mean)
+		}
+	}
+	degraded := 0
+	for s := 1; s <= steps; s++ {
+		v := rep.Result(sa.Name(), s)
+		if v == nil {
+			t.Errorf("step %d: result silently lost", s)
+			continue
+		}
+		if dg, ok := v.(Degraded); ok {
+			degraded++
+			if dg.Reason == "" {
+				t.Errorf("step %d: Degraded without a reason", s)
+			}
+			// Dead-lettered steps carry no value; fallback steps carry
+			// the full in-situ reduction.
+			if dg.Value != nil {
+				checkDerived(s, dg.Value)
+			}
+			continue
+		}
+		checkDerived(s, v)
+	}
+
+	res := rep.Resilience
+	counts := inj.CounterMap()
+	t.Logf("seed %d: faults=%+v injected=%v degraded=%d", seed, res, counts, degraded)
+
+	// The partition window must have forced at least one degraded step,
+	// and the scheduled bucket crash must have been absorbed.
+	if res.DegradedSteps == 0 || degraded == 0 {
+		t.Error("partition window produced no degraded steps")
+	}
+	if int64(degraded) > res.DegradedSteps {
+		t.Errorf("stored %d degraded markers but counted %d degraded steps", degraded, res.DegradedSteps)
+	}
+	if res.Crashes < 1 {
+		t.Errorf("bucket crash not recorded: %+v", res)
+	}
+	if res.Faults == 0 || res.Retries == 0 {
+		t.Errorf("fault storm did not exercise the retry path: %+v", res)
+	}
+
+	// Checksum framing must catch 100% of injected corruptions: no
+	// corrupted payload is ever delivered to a handler.
+	if res.ChecksumFailures != counts["corrupt"] {
+		t.Errorf("caught %d corruptions, injector produced %d", res.ChecksumFailures, counts["corrupt"])
+	}
+
+	// No pinned-region leaks: requeues re-pull before release,
+	// dead-letters release explicitly, successes release normally.
+	if n := p.PinnedRegions(); n != 0 {
+		t.Errorf("%d intermediate regions still pinned after drain", n)
+	}
+}
+
+// TestDegradedFallback: with the staging buckets partitioned for the
+// whole run, every step's probe fails and every hybrid step must run
+// its in-situ fallback — producing full-quality Degraded results with
+// no task ever submitted and nothing pinned or lost.
+func TestDegradedFallback(t *testing.T) {
+	simCfg := testSimConfig(2, 1, 1)
+	cfg := DefaultConfig(simCfg)
+	cfg.DSServers = 2
+	cfg.Buckets = 2
+	cfg.StepBudget = 50 * time.Millisecond
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Network().SetFaults(faults.New(faults.Config{
+		Seed:       7,
+		Partitions: []faults.Window{{From: 0, Until: 1 << 30, Endpoints: []int{0, 1}}},
+	}))
+	sa := &StatsHybrid{Vars: []string{"T"}, EveryN: 1}
+	p.Register(sa)
+	const steps = 4
+	rep, err := p.Run(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	npts := int64(simCfg.Global.Size())
+	for s := 1; s <= steps; s++ {
+		dg, ok := rep.Result(sa.Name(), s).(Degraded)
+		if !ok {
+			t.Fatalf("step %d: want Degraded, got %T", s, rep.Result(sa.Name(), s))
+		}
+		m, ok := dg.Value.(map[string]stats.Derived)
+		if !ok || m["T"].N != npts {
+			t.Fatalf("step %d: fallback value wrong: %+v", s, dg.Value)
+		}
+	}
+	if rep.Resilience.DegradedSteps != steps {
+		t.Fatalf("degraded steps = %d, want %d", rep.Resilience.DegradedSteps, steps)
+	}
+	if got := rep.Metrics.Total(sa.Name()).MoveBytes; got != 0 {
+		t.Fatalf("degraded run moved %d intermediate bytes, want 0", got)
+	}
+	if n := p.PinnedRegions(); n != 0 {
+		t.Fatalf("%d regions pinned after fully degraded run", n)
+	}
+}
+
+// TestChaosSoak is the fixed-seed soak: >= 50 steps under drops,
+// timeouts, corruption, one partition window and one bucket crash.
+func TestChaosSoak(t *testing.T) {
+	runChaos(t, 42, chaosSteps)
+}
+
+// TestChaosSmoke is the short randomized-seed smoke run (make chaos):
+// a fresh seed each invocation hunts schedule-dependent bugs the fixed
+// seed cannot reach. Skipped unless CHAOS_SMOKE is set so the regular
+// test suite stays deterministic.
+func TestChaosSmoke(t *testing.T) {
+	if os.Getenv("CHAOS_SMOKE") == "" {
+		t.Skip("set CHAOS_SMOKE=1 to run the randomized-seed chaos smoke")
+	}
+	seed := time.Now().UnixNano()
+	runChaos(t, seed, 12)
+}

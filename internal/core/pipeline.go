@@ -25,6 +25,16 @@ type Config struct {
 	DSServers int // DataSpaces service shards
 	Buckets   int // in-transit staging buckets
 	Net       netsim.Config
+	// StepBudget bounds each step's hybrid transit path. When set,
+	// rank 0 probes staging health within the budget before submitting
+	// hybrid work — a failed probe degrades the step to the analyses'
+	// in-situ fallbacks — and every submitted task carries the budget
+	// as its data-movement deadline. Zero disables probing and
+	// deadlines: steps never degrade on time.
+	StepBudget time.Duration
+	// MaxTaskAttempts bounds how many times a task is handed to a
+	// bucket before it is dead-lettered (0 = staging default of 3).
+	MaxTaskAttempts int
 }
 
 // DefaultConfig mirrors the paper's resource ratios at laptop scale.
@@ -47,13 +57,21 @@ type Pipeline struct {
 
 	analyses []Analysis
 
-	mu       sync.Mutex
-	results  map[string]map[int]any // analysis -> step -> output
-	runErrs  []error
-	eps      map[int]*dart.Endpoint // endpoint id -> endpoint (for release)
-	expected int
-	ran      bool
-	tl       *trace.Timeline
+	mu      sync.Mutex
+	results map[string]map[int]any // analysis -> step -> output
+	runErrs []error
+	eps     map[int]*dart.Endpoint // endpoint id -> endpoint (for release)
+	ran     bool
+	tl      *trace.Timeline
+
+	// Drain accounting: the queue closes once the simulation has
+	// finished AND every successfully submitted task has produced its
+	// one final Result (requeued attempts emit nothing until the task
+	// completes or dead-letters). This replaces an upfront expected
+	// count, which cannot anticipate degraded steps or requeues.
+	submitted int64
+	completed int64
+	simDone   bool
 }
 
 // NewPipeline validates the configuration and builds all subsystems.
@@ -87,14 +105,21 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	// Pooled buffers are safe here because every in-transit handler in
 	// core decodes its payloads into private structures (Unmarshal*)
 	// and retains no input slice past its return.
-	area, err := staging.New(fabric, ds, cfg.Buckets,
-		staging.WithRelease(p.releaseHandle), staging.WithPooledBuffers())
+	opts := []staging.Option{staging.WithRelease(p.releaseHandle), staging.WithPooledBuffers()}
+	if cfg.MaxTaskAttempts > 0 {
+		opts = append(opts, staging.WithMaxAttempts(cfg.MaxTaskAttempts))
+	}
+	area, err := staging.New(fabric, ds, cfg.Buckets, opts...)
 	if err != nil {
 		return nil, err
 	}
 	p.area = area
 	return p, nil
 }
+
+// Staging returns the staging area, exposing bucket crash injection
+// and resilience counters to chaos tests.
+func (p *Pipeline) Staging() *staging.Area { return p.area }
 
 // Register adds an analysis; all registrations must happen before Run.
 func (p *Pipeline) Register(a Analysis) {
@@ -172,11 +197,12 @@ func (p *Pipeline) storeResult(name string, step int, out any) {
 
 // Report is the outcome of a pipeline run.
 type Report struct {
-	Steps   int
-	Results map[string]map[int]any // analysis -> step -> output
-	Metrics *metrics.Collector
-	Net     netsim.Stats
-	Errs    []error
+	Steps      int
+	Results    map[string]map[int]any // analysis -> step -> output
+	Metrics    *metrics.Collector
+	Net        netsim.Stats
+	Resilience metrics.Resilience
+	Errs       []error
 }
 
 // Result returns the stored output of an analysis at a step.
@@ -202,18 +228,6 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 	}
 	p.ran = true
 	p.mu.Unlock()
-	// Count expected in-transit tasks so the drain knows when to stop.
-	p.expected = 0
-	for _, a := range p.analyses {
-		if _, ok := a.(hybridStage); !ok {
-			continue
-		}
-		for s := 1; s <= steps; s++ {
-			if due(a, s) {
-				p.expected++
-			}
-		}
-	}
 
 	// Install staging handlers. Streaming stages take precedence when
 	// an analysis implements both kinds.
@@ -238,17 +252,28 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
-		remaining := p.expected
 		for res := range p.area.Results() {
 			if p.tl != nil {
 				p.tl.Add(fmt.Sprintf("bucket-%d", res.Bucket),
 					fmt.Sprintf("%s@%d", res.Task.Analysis, res.Task.Step),
 					res.Start, res.End)
 			}
-			if res.Err != nil {
+			switch {
+			case res.DeadLetter:
+				// The task's data already left the ranks, so no in-situ
+				// fallback is possible; the step is explicitly degraded
+				// rather than silently missing or a hard failure.
+				p.storeResult(res.Task.Analysis, res.Task.Step,
+					Degraded{Reason: res.Err.Error()})
+				p.col.AddDegradedStep()
+				if p.tl != nil {
+					p.tl.Mark(fmt.Sprintf("bucket-%d", res.Bucket),
+						fmt.Sprintf("dead-letter %s@%d", res.Task.Analysis, res.Task.Step), res.End)
+				}
+			case res.Err != nil:
 				p.recordErr(fmt.Errorf("core: in-transit %s step %d: %w",
 					res.Task.Analysis, res.Task.Step, res.Err))
-			} else {
+			default:
 				p.storeResult(res.Task.Analysis, res.Task.Step, res.Output)
 			}
 			// The serialized (sum) modeled pull time is the right
@@ -256,15 +281,12 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 			// admits one RDMA stream's worth of bandwidth at a time.
 			p.col.RecordTransit(res.Task.Analysis, res.MoveModeledSum, res.MoveWall,
 				res.BytesMoved, res.ComputeWall)
-			remaining--
-			if remaining == 0 {
-				p.ds.Close()
-			}
+			p.mu.Lock()
+			p.completed++
+			p.mu.Unlock()
+			p.maybeCloseDS()
 		}
 	}()
-	if p.expected == 0 {
-		p.ds.Close()
-	}
 
 	// The SPMD simulation + in-situ loop.
 	comm.Run(p.sim.Ranks(), func(r *comm.Rank) {
@@ -273,31 +295,55 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 		}
 	})
 
-	// If any rank failed to submit its share of tasks, the drain
-	// goroutine would wait forever; close the queue so everything
-	// unblocks (in-flight tasks still finish).
 	p.mu.Lock()
-	aborted := len(p.runErrs) > 0
+	p.simDone = true
 	p.mu.Unlock()
-	if aborted {
-		p.ds.Close()
-	}
+	p.maybeCloseDS()
 	p.area.Wait()
 	<-drained
+
+	p.col.RecordResilience(p.resilience())
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rep := &Report{
-		Steps:   steps,
-		Results: p.results,
-		Metrics: p.col,
-		Net:     p.net.Stats(),
-		Errs:    append([]error{}, p.runErrs...),
+		Steps:      steps,
+		Results:    p.results,
+		Metrics:    p.col,
+		Net:        p.net.Stats(),
+		Resilience: p.col.Resilience(),
+		Errs:       append([]error{}, p.runErrs...),
 	}
 	if len(rep.Errs) > 0 {
 		return rep, rep.Errs[0]
 	}
 	return rep, nil
+}
+
+// maybeCloseDS closes the task queue once the simulation has finished
+// and every submitted task has drained to its final Result. Close is
+// idempotent, so racing calls are harmless.
+func (p *Pipeline) maybeCloseDS() {
+	p.mu.Lock()
+	done := p.simDone && p.completed == p.submitted
+	p.mu.Unlock()
+	if done {
+		p.ds.Close()
+	}
+}
+
+// resilience snapshots the failure counters across all layers.
+func (p *Pipeline) resilience() metrics.Resilience {
+	fs := p.fabric.Stats()
+	as := p.area.Resilience()
+	return metrics.Resilience{
+		Faults:           p.net.Stats().Faulted,
+		Retries:          fs.Retries,
+		ChecksumFailures: fs.ChecksumFailures,
+		Requeues:         as.Requeues,
+		Crashes:          as.Crashes,
+		DeadLetters:      as.DeadLetters,
+	}
 }
 
 // rankLoop is one rank's simulation + in-situ schedule.
@@ -329,6 +375,24 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 		}
 		ctx.Step = step
 
+		// Transit-health check: when a step budget is configured and
+		// hybrid work is due, rank 0 probes the staging area within the
+		// budget and broadcasts the verdict, so every rank takes the
+		// same branch (the in-situ fallbacks use collectives).
+		degradeReason := ""
+		if p.cfg.StepBudget > 0 && p.hybridDue(step) {
+			if r.ID() == 0 {
+				if err := p.probeTransit(ep); err != nil {
+					degradeReason = fmt.Sprintf("transit probe: %v", err)
+					p.col.AddDegradedStep()
+					if p.tl != nil {
+						p.tl.Mark("sim", fmt.Sprintf("degraded@%d", step), time.Now())
+					}
+				}
+			}
+			degradeReason = r.Broadcast(0, degradeReason).(string)
+		}
+
 		// Analysis errors are recorded but never abort the rank: a rank
 		// that stops stepping would deadlock the others' collectives,
 		// so the loop always keeps participating.
@@ -350,6 +414,10 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 					p.storeResult(an.Name(), step, out)
 				}
 			case hybridStage:
+				if degradeReason != "" {
+					p.runFallback(ctx, r, an, step, degradeReason)
+					continue
+				}
 				anyHybrid = true
 				t := time.Now()
 				payload, err := an.InSituStage(ctx)
@@ -376,14 +444,22 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 		if anyHybrid {
 			r.Barrier()
 			if r.ID() == 0 {
+				var deadline time.Time
+				if p.cfg.StepBudget > 0 {
+					deadline = time.Now().Add(p.cfg.StepBudget)
+				}
 				for _, a := range p.analyses {
 					if _, ok := a.(hybridStage); !ok || !due(a, step) {
 						continue
 					}
 					inputs := p.ds.Query(a.Name(), step)
 					sortByRank(inputs)
-					if _, err := p.ds.SubmitTask(a.Name(), step, inputs); err != nil {
+					if _, err := p.ds.SubmitTaskDeadline(a.Name(), step, inputs, deadline); err != nil {
 						p.recordErr(fmt.Errorf("core: submit %s step %d: %w", a.Name(), step, err))
+					} else {
+						p.mu.Lock()
+						p.submitted++
+						p.mu.Unlock()
 					}
 					p.ds.Remove(a.Name(), step)
 				}
@@ -391,6 +467,49 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 		}
 	}
 	return nil
+}
+
+// hybridDue reports whether any hybrid analysis runs at this step.
+func (p *Pipeline) hybridDue(step int) bool {
+	for _, a := range p.analyses {
+		if _, ok := a.(hybridStage); ok && due(a, step) {
+			return true
+		}
+	}
+	return false
+}
+
+// probeTransit pulls the staging area's tiny probe region under the
+// step budget. A healthy path answers in microseconds; a partitioned
+// or saturated one fails (after DART's retries), which degrades the
+// step before any intermediate data is produced or pinned.
+func (p *Pipeline) probeTransit(ep *dart.Endpoint) error {
+	data, _, err := ep.GetDeadline(p.area.ProbeHandle(), time.Now().Add(p.cfg.StepBudget))
+	if err == nil {
+		bufpool.Put(data)
+	}
+	return err
+}
+
+// runFallback executes one degraded hybrid analysis step fully
+// in-situ. Analyses without a fallback still get an explicit Degraded
+// marker so the step is never silently lost.
+func (p *Pipeline) runFallback(ctx *Ctx, r *comm.Rank, an hybridStage, step int, reason string) {
+	var out any
+	var err error
+	fb, hasFB := an.(InSituFallback)
+	t := time.Now()
+	if hasFB {
+		out, err = fb.RunFallback(ctx)
+	}
+	p.col.RecordInSitu(an.Name(), step, time.Since(t))
+	if err != nil {
+		p.recordErr(fmt.Errorf("core: in-situ fallback %s step %d rank %d: %w", an.Name(), step, r.ID(), err))
+		return
+	}
+	if r.ID() == 0 {
+		p.storeResult(an.Name(), step, Degraded{Reason: reason, Value: out})
+	}
 }
 
 // sortByRank orders descriptors by producing rank so in-transit

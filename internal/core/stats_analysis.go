@@ -76,6 +76,14 @@ func (s *StatsHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
 	return local.Marshal(), nil
 }
 
+// RunFallback implements InSituFallback: when the transit path is
+// degraded the statistics complete fully in-situ — learn with an
+// allreduce instead of staging the partial models.
+func (s *StatsHybrid) RunFallback(ctx *Ctx) (any, error) {
+	in := &StatsInSitu{Vars: s.Vars, EveryN: s.EveryN}
+	return in.RunInSitu(ctx)
+}
+
 // InTransit implements HybridAnalysis: the derive stage — aggregate
 // all partial models and derive, serially.
 func (s *StatsHybrid) InTransit(step int, payloads [][]byte) (any, error) {

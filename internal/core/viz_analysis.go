@@ -148,6 +148,18 @@ func (v *VizHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
 	return payload, nil
 }
 
+// RunFallback implements InSituFallback: when the transit path is
+// degraded the frame renders fully in-situ — full-resolution
+// ray-casting plus gather/composite — instead of staging down-sampled
+// blocks.
+func (v *VizHybrid) RunFallback(ctx *Ctx) (any, error) {
+	in := &VizInSitu{
+		Var: v.Var, Width: v.Width, Height: v.Height,
+		Dir: v.Dir, TF: v.TF, StepSize: v.StepSize, Tag: v.Tag,
+	}
+	return in.RunInSitu(ctx)
+}
+
 // InTransit implements HybridAnalysis: assemble the lookup table and
 // render serially.
 func (v *VizHybrid) InTransit(step int, payloads [][]byte) (any, error) {

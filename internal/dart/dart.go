@@ -10,16 +10,108 @@
 // SMSG/FMA/BTE mechanism by message size and accounts modeled cost, so
 // the scheduling layers above observe the same asynchrony and cost
 // shape as DART on Gemini.
+//
+// The transport is resilient: every registered region carries a CRC32
+// checksum, every Get/Put verifies the payload after the wire copy,
+// and transient fabric faults (drops, timeouts, corruption, partition
+// windows — see internal/faults) are absorbed by capped exponential
+// backoff with jitter under an optional caller deadline. Errors are
+// typed so the layers above can distinguish a dead peer from a slow
+// link.
 package dart
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insitu/internal/bufpool"
 	"insitu/internal/netsim"
 )
+
+// Typed transport errors. Transfer-layer faults from netsim
+// (ErrDropped, ErrTimeout, ErrPartitioned) pass through wrapped and
+// are matchable with errors.Is.
+var (
+	// ErrUnregistered is returned when the local or remote endpoint of
+	// a transaction has been detached from the fabric.
+	ErrUnregistered = errors.New("dart: endpoint unregistered")
+	// ErrRegionNotFound is returned when a handle names a region that
+	// is not (or no longer) pinned on its endpoint.
+	ErrRegionNotFound = errors.New("dart: region not registered")
+	// ErrForeignHandle is returned when a handle is released on an
+	// endpoint that does not own it.
+	ErrForeignHandle = errors.New("dart: foreign handle")
+	// ErrChecksum is returned when a pulled or pushed payload fails
+	// CRC32 verification — an in-flight corruption was caught.
+	ErrChecksum = errors.New("dart: payload checksum mismatch")
+	// ErrDeadline is returned when retries could not complete a
+	// transaction before the caller's deadline.
+	ErrDeadline = errors.New("dart: deadline exceeded")
+	// ErrRegionOverflow is returned by Put when the payload exceeds
+	// the destination region.
+	ErrRegionOverflow = errors.New("dart: payload exceeds region size")
+)
+
+// Retriable reports whether an error is a transient transport fault
+// worth retrying: wire drops, timeouts, partition windows (which may
+// close), and checksum mismatches (a clean retransmit usually
+// succeeds). Lifecycle errors — unregistered endpoints, missing
+// regions, overflows — are permanent.
+func Retriable(err error) bool {
+	return errors.Is(err, netsim.ErrDropped) ||
+		errors.Is(err, netsim.ErrTimeout) ||
+		errors.Is(err, netsim.ErrPartitioned) ||
+		errors.Is(err, ErrChecksum)
+}
+
+// RetryPolicy is the capped-exponential-backoff schedule applied to
+// retriable Get/Put failures.
+type RetryPolicy struct {
+	// MaxAttempts bounds the attempts per operation (including the
+	// first). Values < 1 mean a single attempt.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further
+	// retry doubles it up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry sleep.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of the backoff randomized away
+	// (0 <= Jitter <= 1), decorrelating concurrent retriers.
+	Jitter float64
+}
+
+// DefaultRetryPolicy mirrors the shape of uGNI-level retransmit
+// tuning: a handful of attempts with microsecond-scale backoff, so
+// transient faults cost little and persistent ones surface quickly.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Jitter:      0.25,
+	}
+}
+
+// backoff returns the sleep before retry `attempt` (1-based).
+func (p RetryPolicy) backoff(attempt int, rng func() float64) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff << uint(attempt-1)
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		f := 1 - p.Jitter*rng()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
 
 // MemHandle names a registered memory region on some endpoint. Handles
 // are the descriptors DataSpaces stores in its task queue: holding a
@@ -52,23 +144,85 @@ type Event struct {
 	Path     netsim.Path
 }
 
+// Stats counts the fabric's resilience activity.
+type Stats struct {
+	// Retries is the number of retried Get/Put attempts.
+	Retries int64
+	// ChecksumFailures is the number of corrupted payloads caught by
+	// CRC32 verification.
+	ChecksumFailures int64
+	// DeadlineExceeded counts operations abandoned at their deadline.
+	DeadlineExceeded int64
+}
+
 // Fabric is the shared transport instance: a set of endpoints attached
 // to one simulated network.
 type Fabric struct {
 	net *netsim.Network
 
-	mu   sync.Mutex
-	next int
-	eps  map[int]*Endpoint
+	mu     sync.Mutex
+	next   int
+	eps    map[int]*Endpoint
+	policy RetryPolicy
+
+	jmu sync.Mutex
+	jit *rand.Rand
+
+	retries   atomic.Int64
+	crcFails  atomic.Int64
+	deadlines atomic.Int64
 }
 
-// NewFabric creates a transport fabric over the given network.
+// NewFabric creates a transport fabric over the given network with the
+// default retry policy.
 func NewFabric(net *netsim.Network) *Fabric {
-	return &Fabric{net: net, eps: make(map[int]*Endpoint)}
+	return &Fabric{
+		net:    net,
+		eps:    make(map[int]*Endpoint),
+		policy: DefaultRetryPolicy(),
+		jit:    rand.New(rand.NewSource(1)),
+	}
 }
 
 // Network returns the underlying simulated network.
 func (f *Fabric) Network() *netsim.Network { return f.net }
+
+// SetRetryPolicy replaces the fabric-wide retry policy. Call before
+// traffic starts.
+func (f *Fabric) SetRetryPolicy(p RetryPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policy = p
+}
+
+// RetryPolicy returns the fabric-wide retry policy.
+func (f *Fabric) RetryPolicy() RetryPolicy {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.policy
+}
+
+// Stats returns a snapshot of the fabric's resilience counters.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		Retries:          f.retries.Load(),
+		ChecksumFailures: f.crcFails.Load(),
+		DeadlineExceeded: f.deadlines.Load(),
+	}
+}
+
+// jitter returns a uniform draw in [0,1) for backoff decorrelation.
+func (f *Fabric) jitter() float64 {
+	f.jmu.Lock()
+	defer f.jmu.Unlock()
+	return f.jit.Float64()
+}
+
+// region is one pinned memory area plus its integrity checksum.
+type region struct {
+	data []byte
+	crc  uint32
+}
 
 // Endpoint is one attached node: a simulation rank, a DataSpaces
 // server, or a staging bucket.
@@ -79,7 +233,7 @@ type Endpoint struct {
 
 	mu      sync.Mutex
 	nextReg int
-	regions map[int][]byte
+	regions map[int]*region
 	closed  bool
 
 	events chan Event
@@ -102,7 +256,7 @@ func (f *Fabric) Register(name string) *Endpoint {
 		f:       f,
 		id:      f.next,
 		name:    name,
-		regions: make(map[int][]byte),
+		regions: make(map[int]*region),
 		events:  make(chan Event, 1024),
 		msgs:    make(chan Message, 1024),
 	}
@@ -111,7 +265,10 @@ func (f *Fabric) Register(name string) *Endpoint {
 	return ep
 }
 
-// Unregister detaches the endpoint and releases its regions.
+// Unregister detaches the endpoint and releases its regions. In-flight
+// transactions against the endpoint fail with ErrUnregistered (or
+// ErrRegionNotFound when they lose the race to a final pull) instead
+// of panicking or hanging.
 func (f *Fabric) Unregister(ep *Endpoint) {
 	f.mu.Lock()
 	delete(f.eps, ep.id)
@@ -127,7 +284,7 @@ func (f *Fabric) lookup(id int) (*Endpoint, error) {
 	defer f.mu.Unlock()
 	ep, ok := f.eps[id]
 	if !ok {
-		return nil, fmt.Errorf("dart: endpoint %d not registered", id)
+		return nil, fmt.Errorf("dart: endpoint %d: %w", id, ErrUnregistered)
 	}
 	return ep, nil
 }
@@ -146,13 +303,16 @@ func (ep *Endpoint) Messages() <-chan Message { return ep.msgs }
 
 // RegisterMem pins data for remote one-sided access and returns its
 // handle. No private copy is taken: the caller must keep the buffer
-// stable until Release, exactly as with RDMA-pinned memory.
+// stable until Release, exactly as with RDMA-pinned memory. The
+// region's CRC32 is computed here, so mutating the buffer while pinned
+// makes subsequent pulls fail checksum verification — by design.
 func (ep *Endpoint) RegisterMem(data []byte) MemHandle {
+	sum := crc32.ChecksumIEEE(data)
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	id := ep.nextReg
 	ep.nextReg++
-	ep.regions[id] = data
+	ep.regions[id] = &region{data: data, crc: sum}
 	return MemHandle{Endpoint: ep.id, Region: id, Size: len(data)}
 }
 
@@ -177,30 +337,31 @@ func (ep *Endpoint) Release(h MemHandle) error {
 // through the fabric; the caller owns it exclusively.
 func (ep *Endpoint) Reclaim(h MemHandle) ([]byte, error) {
 	if h.Endpoint != ep.id {
-		return nil, fmt.Errorf("dart: release of foreign handle %+v on endpoint %d", h, ep.id)
+		return nil, fmt.Errorf("dart: release of %+v on endpoint %d: %w", h, ep.id, ErrForeignHandle)
 	}
 	ep.mu.Lock()
-	data, ok := ep.regions[h.Region]
+	r, ok := ep.regions[h.Region]
 	delete(ep.regions, h.Region)
 	ep.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("dart: region %d not registered on endpoint %d", h.Region, ep.id)
+		return nil, fmt.Errorf("dart: region %d on endpoint %d: %w", h.Region, ep.id, ErrRegionNotFound)
 	}
 	ep.post(Event{Type: EventUnregistered, Handle: h, Peer: ep.id})
-	return data, nil
+	return r.data, nil
 }
 
-func (ep *Endpoint) region(id int) ([]byte, error) {
+// region returns the pinned data and checksum for a region id.
+func (ep *Endpoint) region(id int) ([]byte, uint32, error) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {
-		return nil, fmt.Errorf("dart: endpoint %d is unregistered", ep.id)
+		return nil, 0, fmt.Errorf("dart: endpoint %d: %w", ep.id, ErrUnregistered)
 	}
-	data, ok := ep.regions[id]
+	r, ok := ep.regions[id]
 	if !ok {
-		return nil, fmt.Errorf("dart: region %d not found on endpoint %d", id, ep.id)
+		return nil, 0, fmt.Errorf("dart: region %d on endpoint %d: %w", id, ep.id, ErrRegionNotFound)
 	}
-	return data, nil
+	return r.data, r.crc, nil
 }
 
 // post delivers an event without ever blocking the transport: if the
@@ -223,23 +384,87 @@ func (ep *Endpoint) post(ev Event) {
 
 // Get performs a blocking one-sided read of the remote region named by
 // h into a pool-recycled buffer, posting completion events at both
-// endpoints. It returns the data and the modeled transfer duration.
+// endpoints. It returns the data and the total modeled transfer
+// duration across attempts. Transient fabric faults are retried under
+// the fabric's retry policy; the pulled payload is CRC32-verified
+// against the region's registration checksum, so a corrupted transfer
+// is never returned to the caller.
+//
 // The returned buffer comes from bufpool: once the consumer is done
 // with it (and has not retained it), handing it to bufpool.Put makes
-// the steady-state transfer path allocation-free.
+// the steady-state transfer path allocation-free. On error no buffer
+// is returned and every internally staged buffer has been recycled
+// exactly once — callers must not (and cannot) recycle anything.
 func (ep *Endpoint) Get(h MemHandle) ([]byte, time.Duration, error) {
+	return ep.GetDeadline(h, time.Time{})
+}
+
+// GetDeadline is Get under a caller deadline: retries stop, with
+// ErrDeadline, once the deadline has passed or would be overshot by
+// the next backoff. A zero deadline means no deadline.
+func (ep *Endpoint) GetDeadline(h MemHandle, deadline time.Time) ([]byte, time.Duration, error) {
+	pol := ep.f.RetryPolicy()
+	var total time.Duration
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			ep.f.deadlines.Add(1)
+			return nil, total, deadlineErr("get", h, lastErr)
+		}
+		data, d, err := ep.getOnce(h)
+		total += d
+		if err == nil {
+			return data, total, nil
+		}
+		lastErr = err
+		if !Retriable(err) {
+			return nil, total, err
+		}
+		if attempt >= max(pol.MaxAttempts, 1) {
+			return nil, total, fmt.Errorf("dart: get %+v failed after %d attempts: %w", h, attempt, err)
+		}
+		ep.f.retries.Add(1)
+		back := pol.backoff(attempt, ep.f.jitter)
+		if !deadline.IsZero() && time.Now().Add(back).After(deadline) {
+			ep.f.deadlines.Add(1)
+			return nil, total, deadlineErr("get", h, lastErr)
+		}
+		time.Sleep(back)
+	}
+}
+
+func deadlineErr(op string, h MemHandle, last error) error {
+	if last != nil {
+		return fmt.Errorf("dart: %s %+v: %w (last attempt: %v)", op, h, ErrDeadline, last)
+	}
+	return fmt.Errorf("dart: %s %+v: %w", op, h, ErrDeadline)
+}
+
+// getOnce is a single pull attempt. Ownership: the destination buffer
+// is drawn from bufpool and either returned to the caller (success) or
+// recycled here (failure) — never both, and the owner's pinned source
+// region is never recycled.
+func (ep *Endpoint) getOnce(h MemHandle) ([]byte, time.Duration, error) {
 	owner, err := ep.f.lookup(h.Endpoint)
 	if err != nil {
 		return nil, 0, err
 	}
-	src, err := owner.region(h.Region)
+	src, sum, err := owner.region(h.Region)
 	if err != nil {
 		return nil, 0, err
 	}
 	data := bufpool.Get(len(src))
-	d := ep.f.net.TransferInto(data, src)
-	path := ep.f.net.Select(len(src))
-	ev := Event{Type: EventGetDone, Handle: h, Bytes: len(src), Duration: d, Path: path}
+	d, terr := ep.f.net.TransferBetween(data, src, h.Endpoint, ep.id)
+	if terr != nil {
+		bufpool.Put(data)
+		return nil, d, fmt.Errorf("dart: get %+v: %w", h, terr)
+	}
+	if crc32.ChecksumIEEE(data) != sum {
+		bufpool.Put(data)
+		ep.f.crcFails.Add(1)
+		return nil, d, fmt.Errorf("dart: get %+v: %w", h, ErrChecksum)
+	}
+	ev := Event{Type: EventGetDone, Handle: h, Bytes: len(src), Duration: d, Path: ep.f.net.Select(len(src))}
 	evSrc := ev
 	evSrc.Peer = ep.id
 	owner.post(evSrc)
@@ -261,35 +486,103 @@ type GetResult struct {
 // staging buckets use to pull in-transit data while the simulation
 // proceeds.
 func (ep *Endpoint) GetAsync(h MemHandle) <-chan GetResult {
+	return ep.GetAsyncDeadline(h, time.Time{})
+}
+
+// GetAsyncDeadline is GetAsync under a caller deadline.
+func (ep *Endpoint) GetAsyncDeadline(h MemHandle, deadline time.Time) <-chan GetResult {
 	ch := make(chan GetResult, 1)
 	go func() {
-		data, d, err := ep.Get(h)
+		data, d, err := ep.GetDeadline(h, deadline)
 		ch <- GetResult{Data: data, Duration: d, Err: err}
 	}()
 	return ch
 }
 
 // Put performs a blocking one-sided write into the remote region named
-// by h. len(data) must not exceed the region size.
+// by h. len(data) must not exceed the region size. Like Get, transient
+// faults are retried and the payload is CRC32-verified after the wire
+// copy, before it is committed into the destination region.
 func (ep *Endpoint) Put(h MemHandle, data []byte) (time.Duration, error) {
+	return ep.PutDeadline(h, data, time.Time{})
+}
+
+// PutDeadline is Put under a caller deadline.
+func (ep *Endpoint) PutDeadline(h MemHandle, data []byte, deadline time.Time) (time.Duration, error) {
+	pol := ep.f.RetryPolicy()
+	var total time.Duration
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			ep.f.deadlines.Add(1)
+			return total, deadlineErr("put", h, lastErr)
+		}
+		d, err := ep.putOnce(h, data)
+		total += d
+		if err == nil {
+			return total, nil
+		}
+		lastErr = err
+		if !Retriable(err) {
+			return total, err
+		}
+		if attempt >= max(pol.MaxAttempts, 1) {
+			return total, fmt.Errorf("dart: put %+v failed after %d attempts: %w", h, attempt, err)
+		}
+		ep.f.retries.Add(1)
+		back := pol.backoff(attempt, ep.f.jitter)
+		if !deadline.IsZero() && time.Now().Add(back).After(deadline) {
+			ep.f.deadlines.Add(1)
+			return total, deadlineErr("put", h, lastErr)
+		}
+		time.Sleep(back)
+	}
+}
+
+// putOnce is a single push attempt. The pooled scratch buffer is
+// recycled here on every path; the caller's payload is never adopted
+// into the pool.
+func (ep *Endpoint) putOnce(h MemHandle, data []byte) (time.Duration, error) {
 	owner, err := ep.f.lookup(h.Endpoint)
 	if err != nil {
 		return 0, err
 	}
-	dst, err := owner.region(h.Region)
+	dst, _, err := owner.region(h.Region)
 	if err != nil {
 		return 0, err
 	}
 	if len(data) > len(dst) {
-		return 0, fmt.Errorf("dart: put of %d bytes into region of %d bytes", len(data), len(dst))
+		return 0, fmt.Errorf("dart: put of %d bytes into region of %d bytes: %w", len(data), len(dst), ErrRegionOverflow)
 	}
+	sum := crc32.ChecksumIEEE(data)
 	// Stage through pooled scratch so the wire copy (and any modeled
-	// sleep inside TransferInto) happens outside the owner's lock, then
+	// sleep inside the transfer) happens outside the owner's lock, then
 	// recycle the scratch: the put path allocates nothing.
 	scratch := bufpool.Get(len(data))
-	d := ep.f.net.TransferInto(scratch, data)
+	d, terr := ep.f.net.TransferBetween(scratch, data, ep.id, h.Endpoint)
+	if terr != nil {
+		bufpool.Put(scratch)
+		return d, fmt.Errorf("dart: put %+v: %w", h, terr)
+	}
+	if crc32.ChecksumIEEE(scratch) != sum {
+		bufpool.Put(scratch)
+		ep.f.crcFails.Add(1)
+		return d, fmt.Errorf("dart: put %+v: %w", h, ErrChecksum)
+	}
 	owner.mu.Lock()
-	copy(dst, scratch)
+	if owner.closed {
+		owner.mu.Unlock()
+		bufpool.Put(scratch)
+		return d, fmt.Errorf("dart: endpoint %d: %w", owner.id, ErrUnregistered)
+	}
+	r, ok := owner.regions[h.Region]
+	if !ok {
+		owner.mu.Unlock()
+		bufpool.Put(scratch)
+		return d, fmt.Errorf("dart: region %d on endpoint %d: %w", h.Region, owner.id, ErrRegionNotFound)
+	}
+	copy(r.data, scratch)
+	r.crc = crc32.ChecksumIEEE(r.data)
 	owner.mu.Unlock()
 	bufpool.Put(scratch)
 	path := ep.f.net.Select(len(data))

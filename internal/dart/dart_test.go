@@ -2,6 +2,7 @@ package dart
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 
@@ -52,13 +53,22 @@ func TestGetAliasesPinnedRegion(t *testing.T) {
 	cons := f.Register("bkt")
 	data := []byte{1, 2, 3}
 	h := prod.RegisterMem(data)
-	data[0] = 42 // producer mutates pinned memory before the pull
-	got, _, err := cons.Get(h)
+	// RegisterMem pins the live buffer, not a copy: Reclaim hands the
+	// very same backing array back.
+	got, err := prod.Reclaim(h)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[0] != 42 {
+	if &got[0] != &data[0] {
 		t.Fatal("RegisterMem must pin the live buffer, not a copy")
+	}
+	// Mutating a pinned buffer violates the RDMA pin contract; the
+	// CRC32 framing turns that into a typed checksum error at the
+	// consumer instead of silently delivering torn data.
+	h = prod.RegisterMem(data)
+	data[0] = 42
+	if _, _, err := cons.Get(h); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("pull of a mutated pinned region must fail checksum verification, got %v", err)
 	}
 }
 

@@ -1,0 +1,357 @@
+package dart
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"insitu/internal/bufpool"
+	"insitu/internal/faults"
+	"insitu/internal/netsim"
+)
+
+// faultyFabric returns a fabric whose network injects the given
+// schedule, with a fast retry policy so tests stay quick.
+func faultyFabric(cfg faults.Config, attempts int) *Fabric {
+	net := netsim.New(netsim.Gemini())
+	net.SetFaults(faults.New(cfg))
+	f := NewFabric(net)
+	f.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: 5 * time.Microsecond,
+		MaxBackoff:  50 * time.Microsecond,
+		Jitter:      0.25,
+	})
+	return f
+}
+
+// TestGetRetriesTransientDrops: with a 50% drop rate and a deep retry
+// budget, Get still delivers intact data and the retry counter moves.
+func TestGetRetriesTransientDrops(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 9, Default: faults.Rates{Drop: 0.5}}, 64)
+	p := f.Register("p")
+	c := f.Register("c")
+	data := []byte("survives a lossy fabric")
+	h := p.RegisterMem(data)
+	sawRetry := false
+	for i := 0; i < 50; i++ {
+		got, _, err := c.Get(h)
+		if err != nil {
+			t.Fatalf("pull %d failed despite retry budget: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pull %d returned wrong data", i)
+		}
+		bufpool.Put(got)
+	}
+	if f.Stats().Retries > 0 {
+		sawRetry = true
+	}
+	if !sawRetry {
+		t.Fatal("a 50% drop rate over 50 pulls must have caused at least one retry")
+	}
+}
+
+// TestGetExhaustsRetriesTyped: a fully lossy link surfaces the typed
+// netsim.ErrDropped after MaxAttempts.
+func TestGetExhaustsRetriesTyped(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 1, Default: faults.Rates{Drop: 1}}, 3)
+	p := f.Register("p")
+	c := f.Register("c")
+	h := p.RegisterMem([]byte{1, 2, 3, 4})
+	_, _, err := c.Get(h)
+	if !errors.Is(err, netsim.ErrDropped) {
+		t.Fatalf("want wrapped ErrDropped, got %v", err)
+	}
+	if got := f.Stats().Retries; got != 2 {
+		t.Fatalf("3 attempts mean 2 retries, counted %d", got)
+	}
+}
+
+// TestChecksumCatchesEveryCorruption: every corrupted attempt is
+// caught by CRC32 verification — none reaches the caller — and clean
+// retries eventually succeed.
+func TestChecksumCatchesEveryCorruption(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 3, Default: faults.Rates{Corrupt: 0.5}}, 64)
+	p := f.Register("p")
+	c := f.Register("c")
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	h := p.RegisterMem(data)
+	for i := 0; i < 40; i++ {
+		got, _, err := c.Get(h)
+		if err != nil {
+			t.Fatalf("pull %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pull %d delivered corrupted data past the checksum", i)
+		}
+		bufpool.Put(got)
+	}
+	inj := f.Network().Faults().Counters()
+	injected := inj.ByKind[faults.Corrupt]
+	caught := f.Stats().ChecksumFailures
+	if injected == 0 {
+		t.Fatal("schedule injected no corruption — test is vacuous")
+	}
+	if caught != injected {
+		t.Fatalf("checksum caught %d of %d injected corruptions", caught, injected)
+	}
+}
+
+// TestPutChecksumAndRetry: the push path verifies payloads before
+// committing them into the destination region.
+func TestPutChecksumAndRetry(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 5, Default: faults.Rates{Corrupt: 0.5, Drop: 0.2}}, 64)
+	a := f.Register("a")
+	b := f.Register("b")
+	dst := make([]byte, 512)
+	h := b.RegisterMem(dst)
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(255 - i)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := a.Put(h, payload); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if !bytes.Equal(dst, payload) {
+			t.Fatalf("put %d committed corrupted data", i)
+		}
+	}
+	inj := f.Network().Faults().Counters()
+	if caught := f.Stats().ChecksumFailures; caught != inj.ByKind[faults.Corrupt] {
+		t.Fatalf("checksum caught %d of %d injected corruptions", caught, inj.ByKind[faults.Corrupt])
+	}
+	// After a successful Put the region's stored checksum matches the
+	// new contents, so a follow-up Get verifies cleanly.
+	f.Network().SetFaults(nil)
+	got, _, err := a.Get(h)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get after put: %v", err)
+	}
+}
+
+// TestDeadlineExceededTyped: a permanently faulty link under a tight
+// deadline yields ErrDeadline instead of spinning.
+func TestDeadlineExceededTyped(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 1, Default: faults.Rates{Drop: 1}}, 1<<20)
+	p := f.Register("p")
+	c := f.Register("c")
+	h := p.RegisterMem(make([]byte, 64))
+	_, _, err := c.GetDeadline(h, time.Now().Add(2*time.Millisecond))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if _, err := c.PutDeadline(h, make([]byte, 64), time.Now().Add(2*time.Millisecond)); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("put: want ErrDeadline, got %v", err)
+	}
+	if f.Stats().DeadlineExceeded < 2 {
+		t.Fatalf("deadline counter %d, want >= 2", f.Stats().DeadlineExceeded)
+	}
+}
+
+// TestPartitionWindowHealsAfterClose: pulls fail with ErrPartitioned
+// inside the window and succeed once it closes.
+func TestPartitionWindowHealsAfterClose(t *testing.T) {
+	f := faultyFabric(faults.Config{
+		Seed:       1,
+		Partitions: []faults.Window{{From: 0, Until: 4, Endpoints: []int{1}}},
+	}, 2)
+	p := f.Register("p") // endpoint 0
+	c := f.Register("c") // endpoint 1 — partitioned for 4 decisions
+	h := p.RegisterMem([]byte("heals"))
+	_, _, err := c.Get(h)
+	if !errors.Is(err, netsim.ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned inside the window, got %v", err)
+	}
+	// Attempts 1+2 consumed decisions 0,1; two more retries pass the
+	// window's edge and the link heals.
+	got, _, err := c.Get(h)
+	if err != nil {
+		got, _, err = c.Get(h)
+	}
+	if err != nil || string(got) != "heals" {
+		t.Fatalf("link must heal after the window closes: %v", err)
+	}
+}
+
+// --- Satellite: pooled-buffer ownership on error paths ---
+
+// TestGetErrorDoesNotLeakPeerBufferIntoPool: after failed pulls, the
+// producer's pinned region must not have been recycled into bufpool —
+// a poisoned pool would let an unrelated Get scribble over pinned
+// memory.
+func TestGetErrorDoesNotLeakPeerBufferIntoPool(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 2, Default: faults.Rates{Drop: 1}}, 3)
+	p := f.Register("p")
+	c := f.Register("c")
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = 0xA5
+	}
+	h := p.RegisterMem(data)
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.Get(h); err == nil {
+			t.Fatal("fully lossy link must fail")
+		}
+	}
+	// Drain same-class pool buffers and scribble on them; the pinned
+	// region must stay untouched.
+	var bufs [][]byte
+	for i := 0; i < 16; i++ {
+		b := bufpool.Get(len(data))
+		for j := range b {
+			b[j] = 0x5A
+		}
+		bufs = append(bufs, b)
+	}
+	for _, b := range data {
+		if b != 0xA5 {
+			t.Fatal("pinned region was recycled into the pool on a failed Get")
+		}
+	}
+	for _, b := range bufs {
+		bufpool.Put(b)
+	}
+}
+
+// TestGetErrorNoDoubleRecycle: a failed Get recycles its staging
+// buffer exactly once — two fresh pool buffers of that class must
+// never alias each other.
+func TestGetErrorNoDoubleRecycle(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 4, Default: faults.Rates{Drop: 1}}, 2)
+	p := f.Register("p")
+	c := f.Register("c")
+	h := p.RegisterMem(make([]byte, 2048))
+	if _, _, err := c.Get(h); err == nil {
+		t.Fatal("expected failure")
+	}
+	b1 := bufpool.Get(2048)
+	b2 := bufpool.Get(2048)
+	if &b1[0] == &b2[0] {
+		t.Fatal("double recycle: pool handed the same buffer out twice")
+	}
+	bufpool.Put(b1)
+	bufpool.Put(b2)
+}
+
+// TestPutErrorKeepsCallerBuffer: a failed Put must not adopt the
+// caller's payload into the pool nor corrupt it.
+func TestPutErrorKeepsCallerBuffer(t *testing.T) {
+	f := faultyFabric(faults.Config{Seed: 6, Default: faults.Rates{Drop: 1}}, 3)
+	a := f.Register("a")
+	b := f.Register("b")
+	h := b.RegisterMem(make([]byte, 512))
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = 0xC3
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.Put(h, payload); err == nil {
+			t.Fatal("fully lossy link must fail")
+		}
+	}
+	var bufs [][]byte
+	for i := 0; i < 16; i++ {
+		buf := bufpool.Get(len(payload))
+		for j := range buf {
+			buf[j] = 0x3C
+		}
+		bufs = append(bufs, buf)
+	}
+	for _, v := range payload {
+		if v != 0xC3 {
+			t.Fatal("caller payload was adopted into the pool on a failed Put")
+		}
+	}
+	for _, buf := range bufs {
+		bufpool.Put(buf)
+	}
+}
+
+// --- Satellite: endpoint lifecycle races ---
+
+// TestUnregisterDuringGetTyped hammers register/pull/unregister
+// concurrently: every outcome must be success or a typed error — no
+// panic, no hang, no garbage data.
+func TestUnregisterDuringGetTyped(t *testing.T) {
+	f := NewFabric(netsim.New(netsim.Gemini()))
+	f.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond})
+	c := f.Register("consumer")
+	const rounds = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, rounds*4)
+	for r := 0; r < rounds; r++ {
+		p := f.Register("victim")
+		data := []byte("lifecycle")
+		h := p.RegisterMem(data)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			got, _, err := c.Get(h)
+			if err == nil {
+				if !bytes.Equal(got, data) {
+					errCh <- errors.New("garbage data returned")
+				}
+				bufpool.Put(got)
+				return
+			}
+			if !errors.Is(err, ErrUnregistered) && !errors.Is(err, ErrRegionNotFound) {
+				errCh <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			f.Unregister(p)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("register/unregister hammer hung")
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("untyped error escaped the lifecycle race: %v", err)
+	}
+}
+
+// TestUnregisterDuringPutTyped: a Put racing the destination's
+// Unregister returns a typed error and never commits into freed
+// regions.
+func TestUnregisterDuringPutTyped(t *testing.T) {
+	f := NewFabric(netsim.New(netsim.Gemini()))
+	f.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond})
+	a := f.Register("src")
+	const rounds = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, rounds)
+	for r := 0; r < rounds; r++ {
+		b := f.Register("dst")
+		h := b.RegisterMem(make([]byte, 64))
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, err := a.Put(h, []byte("payload"))
+			if err != nil && !errors.Is(err, ErrUnregistered) && !errors.Is(err, ErrRegionNotFound) {
+				errCh <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			f.Unregister(b)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("untyped error escaped the put lifecycle race: %v", err)
+	}
+}

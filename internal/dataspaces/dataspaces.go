@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"insitu/internal/dart"
 	"insitu/internal/grid"
@@ -55,6 +56,14 @@ type Task struct {
 	Analysis string
 	Step     int
 	Inputs   []Descriptor
+	// Attempts counts how many times the task has been handed to a
+	// bucket and failed (bucket crash or transfer failure); it starts
+	// at 0 and is incremented by Requeue.
+	Attempts int
+	// Deadline, when non-zero, bounds the task's data movement: pulls
+	// past it fail and the task is eventually dead-lettered. It is set
+	// from the submitting step's deadline budget.
+	Deadline time.Time
 }
 
 // Service is the coordination service: a sharded descriptor index plus
@@ -70,6 +79,7 @@ type Service struct {
 	closed  bool
 
 	assigned int64 // tasks handed to buckets
+	requeues int64 // failed tasks pushed back for another attempt
 }
 
 // New creates a service with the given number of index servers
@@ -161,13 +171,19 @@ func (s *Service) Remove(name string, version int) {
 // already waiting, the task is handed over immediately (FCFS on both
 // sides). The assigned task id is returned.
 func (s *Service) SubmitTask(analysis string, step int, inputs []Descriptor) (int64, error) {
+	return s.SubmitTaskDeadline(analysis, step, inputs, time.Time{})
+}
+
+// SubmitTaskDeadline is SubmitTask with a data-movement deadline
+// attached to the task (zero means none).
+func (s *Service) SubmitTaskDeadline(analysis string, step int, inputs []Descriptor, deadline time.Time) (int64, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
 	s.nextID++
-	t := Task{ID: s.nextID, Analysis: analysis, Step: step, Inputs: inputs}
+	t := Task{ID: s.nextID, Analysis: analysis, Step: step, Inputs: inputs, Deadline: deadline}
 	if len(s.waiting) > 0 {
 		ch := s.waiting[0]
 		s.waiting = s.waiting[1:]
@@ -179,6 +195,40 @@ func (s *Service) SubmitTask(analysis string, step int, inputs []Descriptor) (in
 	s.queue = append(s.queue, t)
 	s.mu.Unlock()
 	return t.ID, nil
+}
+
+// Requeue puts a failed task back at the head of the queue — it was
+// the oldest outstanding work, so FCFS order is preserved and the next
+// free bucket picks it up — incrementing its attempt count. If a
+// bucket is already waiting the task is handed over immediately.
+// Requeueing on a closed service fails with ErrClosed, in which case
+// the caller must dead-letter the task itself.
+func (s *Service) Requeue(t Task) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	t.Attempts++
+	s.requeues++
+	if len(s.waiting) > 0 {
+		ch := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		s.assigned++
+		s.mu.Unlock()
+		ch <- t
+		return nil
+	}
+	s.queue = append([]Task{t}, s.queue...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Requeues returns the total number of task requeues.
+func (s *Service) Requeues() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requeues
 }
 
 // BucketReady records a bucket-ready event and blocks until a task is

@@ -1,0 +1,105 @@
+package dataspaces
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRequeuePreservesFCFS: a requeued task goes to the head of the
+// queue — it is the oldest outstanding work — with its attempt count
+// incremented.
+func TestRequeuePreservesFCFS(t *testing.T) {
+	s := newService(t, 1)
+	if _, err := s.SubmitTask("a", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitTask("a", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.BucketReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Step != 1 || first.Attempts != 0 {
+		t.Fatalf("unexpected first task %+v", first)
+	}
+	// The bucket "crashes": its task goes back to the front.
+	if err := s.Requeue(first); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.BucketReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Step != 1 {
+		t.Fatalf("requeued task must be served before younger work, got step %d", again.Step)
+	}
+	if again.Attempts != 1 {
+		t.Fatalf("requeue must increment attempts, got %d", again.Attempts)
+	}
+	next, err := s.BucketReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Step != 2 {
+		t.Fatalf("younger task must follow, got step %d", next.Step)
+	}
+	if s.Requeues() != 1 {
+		t.Fatalf("requeue counter %d, want 1", s.Requeues())
+	}
+}
+
+// TestRequeueHandsToWaitingBucket: a free bucket waiting on
+// BucketReady receives the requeued task immediately.
+func TestRequeueHandsToWaitingBucket(t *testing.T) {
+	s := newService(t, 1)
+	got := make(chan Task, 1)
+	go func() {
+		task, err := s.BucketReady()
+		if err == nil {
+			got <- task
+		}
+	}()
+	// Let the bucket park itself, then requeue into it.
+	for i := 0; i < 100 && s.FreeBuckets() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Requeue(Task{ID: 7, Analysis: "a", Step: 3, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case task := <-got:
+		if task.ID != 7 || task.Attempts != 2 {
+			t.Fatalf("waiting bucket got %+v", task)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("requeue never reached the waiting bucket")
+	}
+	s.Close()
+}
+
+// TestRequeueAfterCloseErrors: the caller must dead-letter when the
+// service is gone.
+func TestRequeueAfterCloseErrors(t *testing.T) {
+	s := newService(t, 1)
+	s.Close()
+	if err := s.Requeue(Task{ID: 1}); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+// TestSubmitTaskDeadline threads the deadline through to the bucket.
+func TestSubmitTaskDeadline(t *testing.T) {
+	s := newService(t, 1)
+	dl := time.Now().Add(time.Hour)
+	if _, err := s.SubmitTaskDeadline("a", 1, nil, dl); err != nil {
+		t.Fatal(err)
+	}
+	task, err := s.BucketReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !task.Deadline.Equal(dl) {
+		t.Fatalf("deadline lost: %v", task.Deadline)
+	}
+}

@@ -39,6 +39,18 @@ func (b Breakdown) PerStep() Breakdown {
 	}
 }
 
+// Resilience aggregates the run's fault-handling counters: what the
+// injector perturbed and how the stack absorbed it.
+type Resilience struct {
+	Faults           int64 // transfer attempts perturbed by the injector
+	Retries          int64 // transfers retried by the DART layer
+	ChecksumFailures int64 // corrupted payloads caught by CRC framing
+	Requeues         int64 // staging task attempts pushed back FCFS
+	Crashes          int64 // bucket crashes (each respawned)
+	DeadLetters      int64 // tasks that exhausted their attempt budget
+	DegradedSteps    int64 // analysis steps that fell back fully in-situ
+}
+
 // Collector gathers samples during a pipeline run.
 type Collector struct {
 	mu sync.Mutex
@@ -48,6 +60,8 @@ type Collector struct {
 
 	inSituMax map[string]map[int]time.Duration // analysis -> step -> max over ranks
 	move      map[string]*Breakdown            // movement + in-transit accumulation
+
+	res Resilience
 }
 
 // NewCollector returns an empty collector.
@@ -98,6 +112,31 @@ func (c *Collector) RecordTransit(analysis string, moveModeled, moveWall time.Du
 	b.MoveWall += moveWall
 	b.MoveBytes += bytes
 	b.InTransit += inTransit
+}
+
+// AddDegradedStep counts one analysis step that degraded to its
+// in-situ fallback (or was dead-lettered).
+func (c *Collector) AddDegradedStep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.res.DegradedSteps++
+}
+
+// RecordResilience installs the transport- and staging-layer failure
+// counters snapshotted at the end of a run, preserving the degraded
+// step count accumulated during it.
+func (c *Collector) RecordResilience(r Resilience) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.DegradedSteps = c.res.DegradedSteps
+	c.res = r
+}
+
+// Resilience returns the run's fault-handling counters.
+func (c *Collector) Resilience() Resilience {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.res
 }
 
 // SimTime returns the total and per-step average simulation time.

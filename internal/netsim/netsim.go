@@ -13,10 +13,28 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"insitu/internal/faults"
+)
+
+// Typed transfer faults, surfaced by TransferBetween when a fault
+// injector is attached. dart maps these onto its retry policy.
+var (
+	// ErrDropped means the transfer was lost on the wire; no bytes
+	// arrived. Retriable.
+	ErrDropped = errors.New("netsim: transfer dropped")
+	// ErrTimeout means the transfer stalled past its modeled delay
+	// and was aborted. Retriable.
+	ErrTimeout = errors.New("netsim: transfer timed out")
+	// ErrPartitioned means a link-partition window currently cuts one
+	// of the transfer's endpoints off the fabric. Retriable, but only
+	// succeeds once the window closes.
+	ErrPartitioned = errors.New("netsim: link partitioned")
 )
 
 // Path identifies the transfer mechanism chosen for a message.
@@ -100,6 +118,9 @@ type Network struct {
 	perPath     map[Path]int64 // bytes per path
 
 	linkMu sync.Mutex // serializes sleeps under SharedLink
+
+	faulted atomic.Int64 // transfers that failed or were perturbed
+	inj     atomic.Pointer[faults.Injector]
 }
 
 // New creates a network with the given configuration.
@@ -109,6 +130,15 @@ func New(cfg Config) *Network {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetFaults attaches (or, with nil, detaches) a fault injector. Every
+// endpoint-attributed transfer then consults the injector; plain
+// Transfer/TransferInto control traffic stays fault-free so the
+// coordination RPC path cannot wedge the scheduler.
+func (n *Network) SetFaults(inj *faults.Injector) { n.inj.Store(inj) }
+
+// Faults returns the attached fault injector, or nil.
+func (n *Network) Faults() *faults.Injector { return n.inj.Load() }
 
 // Select returns the mechanism DART would choose for a message of the
 // given size.
@@ -161,22 +191,87 @@ func (n *Network) Transfer(src []byte) ([]byte, time.Duration) {
 func (n *Network) TransferInto(dst, src []byte) time.Duration {
 	copy(dst, src)
 	d, p := n.Cost(len(src))
-	n.bytesMoved.Add(int64(len(src)))
+	n.account(d, p, len(src))
+	n.sleepScaled(d)
+	return d
+}
+
+// TransferBetween is the endpoint-attributed, fault-injectable variant
+// of TransferInto: it copies src into dst and accounts cost exactly as
+// TransferInto does, but when a fault injector is attached the attempt
+// may instead be dropped, timed out, partitioned, delivered corrupted
+// (bit flips in dst — left for checksum verification upstream), or
+// delivered at collapsed bandwidth. The returned duration is the
+// modeled time the attempt occupied the fabric, whether or not it
+// succeeded.
+func (n *Network) TransferBetween(dst, src []byte, from, to int) (time.Duration, error) {
+	inj := n.inj.Load()
+	if inj == nil {
+		return n.TransferInto(dst, src), nil
+	}
+	d, p := n.Cost(len(src))
+	dec := inj.Decide(from, to, int(p), len(src))
+	switch dec.Kind {
+	case faults.Drop:
+		// The attempt occupied the wire for its full modeled duration
+		// before the loss was noticed.
+		n.faulted.Add(1)
+		n.sleepScaled(d)
+		return d, ErrDropped
+	case faults.Timeout:
+		n.faulted.Add(1)
+		n.sleepScaled(dec.Delay)
+		return dec.Delay, ErrTimeout
+	case faults.Partition:
+		// Fail fast at SMSG latency: the uGNI layer reports an
+		// unreachable peer without moving payload bytes.
+		n.faulted.Add(1)
+		return n.cfg.SMSG.Latency, ErrPartitioned
+	case faults.Corrupt:
+		copy(dst, src)
+		for _, b := range dec.FlipBits {
+			dst[b/8] ^= 1 << (b % 8)
+		}
+		n.faulted.Add(1)
+		n.account(d, p, len(src))
+		n.sleepScaled(d)
+		return d, nil
+	case faults.Slowdown:
+		copy(dst, src)
+		d = time.Duration(float64(d) * dec.Factor)
+		n.faulted.Add(1)
+		n.account(d, p, len(src))
+		n.sleepScaled(d)
+		return d, nil
+	}
+	copy(dst, src)
+	n.account(d, p, len(src))
+	n.sleepScaled(d)
+	return d, nil
+}
+
+// account records a completed transfer's cost against the counters.
+func (n *Network) account(d time.Duration, p Path, size int) {
+	n.bytesMoved.Add(int64(size))
 	n.transfers.Add(1)
 	n.mu.Lock()
 	n.modeledBusy += d
-	n.perPath[p] += int64(len(src))
+	n.perPath[p] += int64(size)
 	n.mu.Unlock()
-	if n.cfg.TimeScale > 0 {
-		if n.cfg.SharedLink {
-			n.linkMu.Lock()
-			time.Sleep(time.Duration(float64(d) / n.cfg.TimeScale))
-			n.linkMu.Unlock()
-		} else {
-			time.Sleep(time.Duration(float64(d) / n.cfg.TimeScale))
-		}
+}
+
+// sleepScaled optionally converts a modeled duration into a real sleep.
+func (n *Network) sleepScaled(d time.Duration) {
+	if n.cfg.TimeScale <= 0 {
+		return
 	}
-	return d
+	if n.cfg.SharedLink {
+		n.linkMu.Lock()
+		time.Sleep(time.Duration(float64(d) / n.cfg.TimeScale))
+		n.linkMu.Unlock()
+	} else {
+		time.Sleep(time.Duration(float64(d) / n.cfg.TimeScale))
+	}
 }
 
 // Stats is a snapshot of fabric counters.
@@ -185,6 +280,9 @@ type Stats struct {
 	Transfers   int64
 	ModeledBusy time.Duration
 	PerPath     map[Path]int64
+	// Faulted counts transfer attempts the injector perturbed
+	// (dropped, timed out, partitioned, corrupted, or slowed).
+	Faulted int64
 }
 
 // Stats returns a snapshot of the accounting counters.
@@ -200,6 +298,7 @@ func (n *Network) Stats() Stats {
 		Transfers:   n.transfers.Load(),
 		ModeledBusy: n.modeledBusy,
 		PerPath:     pp,
+		Faulted:     n.faulted.Load(),
 	}
 }
 
@@ -207,6 +306,7 @@ func (n *Network) Stats() Stats {
 func (n *Network) Reset() {
 	n.bytesMoved.Store(0)
 	n.transfers.Store(0)
+	n.faulted.Store(0)
 	n.mu.Lock()
 	n.modeledBusy = 0
 	n.perPath = make(map[Path]int64)

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"insitu/internal/faults"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+// TestTransferBetweenNoInjector behaves exactly like TransferInto.
+func TestTransferBetweenNoInjector(t *testing.T) {
+	n := New(Gemini())
+	src := payload(2000)
+	dst := make([]byte, len(src))
+	d, err := n.TransferBetween(dst, src, 0, 1)
+	if err != nil || d <= 0 || !bytes.Equal(dst, src) {
+		t.Fatalf("clean transfer failed: d=%v err=%v equal=%v", d, err, bytes.Equal(dst, src))
+	}
+	if n.Stats().Faulted != 0 {
+		t.Fatal("no injector, but faults counted")
+	}
+}
+
+// TestTransferBetweenDrop: a dropped transfer moves no bytes and
+// returns ErrDropped.
+func TestTransferBetweenDrop(t *testing.T) {
+	n := New(Gemini())
+	n.SetFaults(faults.New(faults.Config{Seed: 1, Default: faults.Rates{Drop: 1}}))
+	src := payload(2000)
+	dst := make([]byte, len(src))
+	_, err := n.TransferBetween(dst, src, 0, 1)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	if bytes.Equal(dst, src) {
+		t.Fatal("dropped transfer delivered bytes")
+	}
+	st := n.Stats()
+	if st.Faulted != 1 || st.Transfers != 0 {
+		t.Fatalf("drop accounting wrong: %+v", st)
+	}
+}
+
+// TestTransferBetweenTimeoutAndPartition map to their typed errors.
+func TestTransferBetweenTimeoutAndPartition(t *testing.T) {
+	n := New(Gemini())
+	n.SetFaults(faults.New(faults.Config{Seed: 1, Default: faults.Rates{Timeout: 1}}))
+	if _, err := n.TransferBetween(make([]byte, 64), payload(64), 0, 1); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	n2 := New(Gemini())
+	n2.SetFaults(faults.New(faults.Config{
+		Seed:       1,
+		Partitions: []faults.Window{{From: 0, Until: 1 << 30, Endpoints: []int{3}}},
+	}))
+	if _, err := n2.TransferBetween(make([]byte, 64), payload(64), 3, 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	// An unpartitioned pair sails through.
+	if _, err := n2.TransferBetween(make([]byte, 64), payload(64), 0, 1); err != nil {
+		t.Fatalf("unpartitioned pair failed: %v", err)
+	}
+}
+
+// TestTransferBetweenCorrupt: corruption delivers successfully but
+// flips bits — detection is the upper layer's job.
+func TestTransferBetweenCorrupt(t *testing.T) {
+	n := New(Gemini())
+	n.SetFaults(faults.New(faults.Config{Seed: 1, Default: faults.Rates{Corrupt: 1}, CorruptBits: 1}))
+	src := payload(512)
+	dst := make([]byte, len(src))
+	if _, err := n.TransferBetween(dst, src, 0, 1); err != nil {
+		t.Fatalf("corrupt transfer must not error at the netsim layer: %v", err)
+	}
+	diff := 0
+	for i := range src {
+		if src[i] != dst[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly one corrupted byte (1 bit flip), got %d", diff)
+	}
+}
+
+// TestTransferBetweenSlowdown: delivered intact but with an inflated
+// modeled duration.
+func TestTransferBetweenSlowdown(t *testing.T) {
+	n := New(Gemini())
+	base, _ := n.Cost(1 << 16)
+	n.SetFaults(faults.New(faults.Config{Seed: 1, Default: faults.Rates{Slowdown: 1}, SlowdownFactor: 10}))
+	src := payload(1 << 16)
+	dst := make([]byte, len(src))
+	d, err := n.TransferBetween(dst, src, 0, 1)
+	if err != nil || !bytes.Equal(dst, src) {
+		t.Fatalf("slowdown must deliver intact: %v", err)
+	}
+	if d < 9*base {
+		t.Fatalf("slowdown duration %v not ~10x the base %v", d, base)
+	}
+}

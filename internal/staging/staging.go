@@ -12,14 +12,23 @@
 package staging
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insitu/internal/bufpool"
 	"insitu/internal/dart"
 	"insitu/internal/dataspaces"
 )
+
+// ErrDeadLetter marks a task that exhausted its attempt budget: it was
+// handed to buckets MaxAttempts times and every attempt failed (bucket
+// crash or unpullable inputs). The dead-letter Result carries it so
+// the pipeline can mark the step explicitly degraded instead of
+// silently losing it.
+var ErrDeadLetter = errors.New("staging: task dead-lettered")
 
 // Handler executes the in-transit stage of one analysis. It receives
 // the task and the pulled input payloads, ordered as in Task.Inputs,
@@ -64,6 +73,12 @@ type Result struct {
 	ComputeWall time.Duration
 	// Start and End bound the task's execution for pipelining analysis.
 	Start, End time.Time
+	// Attempts is how many times the task was handed to a bucket,
+	// including the attempt that produced this result.
+	Attempts int
+	// DeadLetter reports that the task exhausted its attempt budget;
+	// Err then wraps ErrDeadLetter and the last underlying failure.
+	DeadLetter bool
 }
 
 // Option configures an Area.
@@ -80,6 +95,19 @@ func WithRelease(fn func(dataspaces.Descriptor)) Option {
 // (default 1024).
 func WithResultBuffer(n int) Option {
 	return func(a *Area) { a.resultCap = n }
+}
+
+// WithMaxAttempts bounds how many times a task may be handed to a
+// bucket before it is dead-lettered (default 3). Attempts are consumed
+// by bucket crashes and by failed pulls; handler errors and panics do
+// not requeue, because re-running a deterministic analysis on the same
+// inputs would fail the same way.
+func WithMaxAttempts(n int) Option {
+	return func(a *Area) {
+		if n > 0 {
+			a.maxAttempts = n
+		}
+	}
 }
 
 // WithPooledBuffers makes the buckets return pulled input payloads to
@@ -112,6 +140,19 @@ type Area struct {
 	wg        sync.WaitGroup
 
 	busy []int64 // per-bucket completed-task counts
+
+	maxAttempts int
+
+	// kill holds one channel per bucket, replaced on every respawn:
+	// closing the current generation's channel crashes that bucket at
+	// its next checkpoint.
+	killMu sync.Mutex
+	kill   []chan struct{}
+
+	crashes     atomic.Int64
+	deadLetters atomic.Int64
+
+	probe dart.MemHandle
 }
 
 // New creates a staging area with nbuckets bucket cores attached to
@@ -122,13 +163,15 @@ func New(fabric *dart.Fabric, ds *dataspaces.Service, nbuckets int, opts ...Opti
 		return nil, fmt.Errorf("staging: need at least one bucket, got %d", nbuckets)
 	}
 	a := &Area{
-		svc:       fabric,
-		ds:        ds,
-		nbkt:      nbuckets,
-		handlers:  make(map[string]Handler),
-		streams:   make(map[string]StreamHandler),
-		resultCap: 1024,
-		busy:      make([]int64, nbuckets),
+		svc:         fabric,
+		ds:          ds,
+		nbkt:        nbuckets,
+		handlers:    make(map[string]Handler),
+		streams:     make(map[string]StreamHandler),
+		resultCap:   1024,
+		busy:        make([]int64, nbuckets),
+		maxAttempts: 3,
+		kill:        make([]chan struct{}, nbuckets),
 	}
 	for _, o := range opts {
 		o(a)
@@ -136,9 +179,18 @@ func New(fabric *dart.Fabric, ds *dataspaces.Service, nbuckets int, opts ...Opti
 	a.results = make(chan Result, a.resultCap)
 	for i := 0; i < nbuckets; i++ {
 		a.points = append(a.points, fabric.Register(fmt.Sprintf("bucket-%d", i)))
+		a.kill[i] = make(chan struct{})
 	}
+	// A tiny always-registered region on bucket 0: pipelines probe the
+	// transit path's health with a cheap Get against it before deciding
+	// whether to submit hybrid work or degrade to in-situ.
+	a.probe = a.points[0].RegisterMem(make([]byte, 16))
 	return a, nil
 }
+
+// ProbeHandle returns the handle of a small persistent region on
+// bucket 0's endpoint, used by pipelines as a transit-health probe.
+func (a *Area) ProbeHandle() dart.MemHandle { return a.probe }
 
 // Handle registers the in-transit stage for the named analysis.
 // Handlers must be registered before Start.
@@ -191,44 +243,160 @@ func (a *Area) CompletedPerBucket() []int64 {
 	return out
 }
 
+// CrashBucket kills the identified bucket at its next checkpoint: the
+// task it is working on (or picks up next) is requeued — or
+// dead-lettered if out of attempts — and a fresh bucket goroutine is
+// respawned in its place, modeling a staging-node failure plus
+// recovery. It returns false for an out-of-range id. Crashing an
+// already-crashed bucket before its respawn is a no-op.
+func (a *Area) CrashBucket(id int) bool {
+	if id < 0 || id >= a.nbkt {
+		return false
+	}
+	a.killMu.Lock()
+	defer a.killMu.Unlock()
+	select {
+	case <-a.kill[id]:
+		// Already killed; the respawn will install a fresh channel.
+	default:
+		close(a.kill[id])
+	}
+	return true
+}
+
+// killCh returns the current generation's kill channel for a bucket.
+func (a *Area) killCh(id int) chan struct{} {
+	a.killMu.Lock()
+	defer a.killMu.Unlock()
+	return a.kill[id]
+}
+
+// respawn installs a fresh kill channel and launches a replacement
+// bucket goroutine after a crash.
+func (a *Area) respawn(id int) {
+	a.killMu.Lock()
+	a.kill[id] = make(chan struct{})
+	a.killMu.Unlock()
+	a.wg.Add(1)
+	go a.bucketLoop(id)
+}
+
+// killed reports whether the generation's kill channel has been closed.
+func killed(kill <-chan struct{}) bool {
+	select {
+	case <-kill:
+		return true
+	default:
+		return false
+	}
+}
+
+// ResilienceStats snapshots the staging area's failure counters.
+type ResilienceStats struct {
+	Crashes     int64 // bucket crashes (each followed by a respawn)
+	Requeues    int64 // failed task attempts pushed back to the queue
+	DeadLetters int64 // tasks that exhausted their attempt budget
+}
+
+// Resilience returns the failure counters.
+func (a *Area) Resilience() ResilienceStats {
+	return ResilienceStats{
+		Crashes:     a.crashes.Load(),
+		Requeues:    a.ds.Requeues(),
+		DeadLetters: a.deadLetters.Load(),
+	}
+}
+
 func (a *Area) bucketLoop(id int) {
 	defer a.wg.Done()
 	ep := a.points[id]
+	kill := a.killCh(id)
 	for {
 		task, err := a.ds.BucketReady()
 		if err != nil {
 			return
 		}
-		res := a.runTask(id, ep, task)
-		a.mu.Lock()
-		a.busy[id]++
-		a.mu.Unlock()
-		a.results <- res
+		res, crashed := a.runTask(id, ep, kill, task)
+		if res != nil {
+			a.mu.Lock()
+			a.busy[id]++
+			a.mu.Unlock()
+			a.results <- *res
+		}
+		if crashed {
+			a.crashes.Add(1)
+			a.respawn(id)
+			return
+		}
 	}
 }
 
-func (a *Area) runTask(id int, ep *dart.Endpoint, task dataspaces.Task) Result {
+// failTask disposes of a failed attempt: while the task has attempts
+// left it is requeued (pinned inputs stay registered for the retry and
+// no Result is emitted yet); otherwise it is dead-lettered — inputs
+// are released so producer regions do not leak, and an errored Result
+// wrapping ErrDeadLetter is returned.
+func (a *Area) failTask(id int, task dataspaces.Task, start time.Time, cause error) *Result {
+	if task.Attempts+1 < a.maxAttempts {
+		if a.ds.Requeue(task) == nil {
+			return nil
+		}
+		// Service closed mid-failure: fall through to dead-letter.
+	}
+	a.deadLetters.Add(1)
+	if a.release != nil {
+		for _, in := range task.Inputs {
+			a.release(in)
+		}
+	}
+	return &Result{
+		Task:       task,
+		Bucket:     id,
+		Start:      start,
+		End:        time.Now(),
+		Attempts:   task.Attempts + 1,
+		DeadLetter: true,
+		Err: fmt.Errorf("staging: task %d (%s step %d) failed %d attempts: %w (last: %v)",
+			task.ID, task.Analysis, task.Step, task.Attempts+1, ErrDeadLetter, cause),
+	}
+}
+
+// runTask executes one assigned task. It returns the Result to emit
+// (nil when the task was requeued instead) and whether the bucket
+// crashed while holding the task.
+func (a *Area) runTask(id int, ep *dart.Endpoint, kill <-chan struct{}, task dataspaces.Task) (*Result, bool) {
+	start := time.Now()
+	// Checkpoint: crash at assignment. The task never started; it is
+	// requeued and the replacement bucket (or a peer) picks it up.
+	if killed(kill) {
+		return a.failTask(id, task, start, fmt.Errorf("bucket %d crashed at assignment", id)), true
+	}
 	a.mu.Lock()
 	sh, streaming := a.streams[task.Analysis]
 	a.mu.Unlock()
 	if streaming {
-		return a.runStreamTask(id, ep, task, sh)
+		res := a.runStreamTask(id, ep, task, sh)
+		return &res, false
 	}
-	res := Result{Task: task, Bucket: id, Start: time.Now()}
+	res := Result{Task: task, Bucket: id, Start: start, Attempts: task.Attempts + 1}
 
-	// Pull phase: issue all Gets asynchronously, then collect.
+	// Pull phase: issue all Gets asynchronously, then collect ALL of
+	// them — even after a failure — so every successfully pulled pooled
+	// buffer is owned here and can be recycled on the error path.
 	pullStart := time.Now()
 	chans := make([]<-chan dart.GetResult, len(task.Inputs))
 	for i, in := range task.Inputs {
-		chans[i] = ep.GetAsync(in.Handle)
+		chans[i] = ep.GetAsyncDeadline(in.Handle, task.Deadline)
 	}
 	data := make([][]byte, len(task.Inputs))
+	var pullErr error
 	for i, ch := range chans {
 		r := <-ch
 		if r.Err != nil {
-			res.Err = fmt.Errorf("staging: pull input %d of task %d: %w", i, task.ID, r.Err)
-			res.End = time.Now()
-			return res
+			if pullErr == nil {
+				pullErr = fmt.Errorf("staging: pull input %d of task %d: %w", i, task.ID, r.Err)
+			}
+			continue
 		}
 		data[i] = r.Data
 		res.BytesMoved += int64(len(r.Data))
@@ -237,7 +405,30 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, task dataspaces.Task) Result {
 			res.MoveModeled = r.Duration
 		}
 	}
+	recycle := func() {
+		for i, p := range data {
+			if p != nil {
+				bufpool.Put(p)
+				data[i] = nil
+			}
+		}
+	}
+	if pullErr != nil {
+		// The handler never saw these buffers, so they are recycled
+		// unconditionally (not gated on a.pooled): dart always drew
+		// them from the pool.
+		recycle()
+		return a.failTask(id, task, start, pullErr), false
+	}
 	res.MoveWall = time.Since(pullStart)
+
+	// Checkpoint: crash after the pull but before releasing the
+	// producer regions — the retry can therefore pull them again.
+	if killed(kill) {
+		recycle()
+		return a.failTask(id, task, start, fmt.Errorf("bucket %d crashed after pull", id)), true
+	}
+
 	if a.release != nil {
 		for _, in := range task.Inputs {
 			a.release(in)
@@ -248,9 +439,10 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, task dataspaces.Task) Result {
 	h, ok := a.handlers[task.Analysis]
 	a.mu.Unlock()
 	if !ok {
+		recycle()
 		res.Err = fmt.Errorf("staging: no handler registered for analysis %q", task.Analysis)
 		res.End = time.Now()
-		return res
+		return &res, false
 	}
 	computeStart := time.Now()
 	out, err := safeHandler(func() (any, error) { return h(task, data) })
@@ -263,7 +455,7 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, task dataspaces.Task) Result {
 	res.Output = out
 	res.Err = err
 	res.End = time.Now()
-	return res
+	return &res, false
 }
 
 // safeHandler isolates handler panics: a panicking analysis yields an
@@ -285,8 +477,12 @@ func safeHandler(fn func() (any, error)) (out any, err error) {
 // movement and compute overlap, ComputeWall here covers the whole
 // handler span and MoveWall the pull span; MoveModeled keeps the same
 // meaning as in the buffered path.
+// Streaming tasks are never requeued: the handler starts consuming
+// inputs before the pull set completes and the producer regions are
+// released unconditionally afterwards, so a pull failure surfaces as an
+// errored Result instead.
 func (a *Area) runStreamTask(id int, ep *dart.Endpoint, task dataspaces.Task, sh StreamHandler) Result {
-	res := Result{Task: task, Bucket: id, Start: time.Now()}
+	res := Result{Task: task, Bucket: id, Start: time.Now(), Attempts: task.Attempts + 1}
 	inputs := make(chan StreamInput, len(task.Inputs))
 	type outcome struct {
 		out any
@@ -313,7 +509,7 @@ func (a *Area) runStreamTask(id int, ep *dart.Endpoint, task dataspaces.Task, sh
 	merged := make(chan pulled, len(task.Inputs))
 	for i, in := range task.Inputs {
 		go func(i int, h dart.MemHandle) {
-			r := <-ep.GetAsync(h)
+			r := <-ep.GetAsyncDeadline(h, task.Deadline)
 			merged <- pulled{i, r}
 		}(i, in.Handle)
 	}

@@ -44,6 +44,12 @@ func (tl *Timeline) Add(lane, label string, start, end time.Time) {
 	tl.spans = append(tl.spans, Span{Lane: lane, Label: label, Start: start, End: end})
 }
 
+// Mark records an instantaneous event — a fault, a degradation
+// decision, a dead-letter — as a zero-length span on a lane.
+func (tl *Timeline) Mark(lane, label string, at time.Time) {
+	tl.Add(lane, label, at, at)
+}
+
 // Spans returns a copy of all recorded spans, sorted by start time.
 func (tl *Timeline) Spans() []Span {
 	tl.mu.Lock()
