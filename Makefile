@@ -6,10 +6,13 @@
 #   make chaos      race-enabled chaos suite: fixed-seed soak (50 steps
 #                   under drops/timeouts/corruption/partition/crash)
 #                   plus a short randomized-seed smoke
+#   make brownout   race-enabled overload soak: fixed-seed slow-consumer
+#                   brownout proving bounded step wall time, graded
+#                   shaping/shedding, breaker recovery, zero credit leaks
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par chaos
+.PHONY: tier1 vet build test race bench bench-par chaos brownout
 
 tier1: vet build test race
 
@@ -34,3 +37,6 @@ bench-par:
 chaos:
 	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/core/
 	CHAOS_SMOKE=1 $(GO) test -race -run TestChaosSmoke -count=1 -v ./internal/core/
+
+brownout:
+	$(GO) test -race -run TestBrownoutSoak -count=1 -v ./internal/workload/

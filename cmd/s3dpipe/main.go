@@ -20,6 +20,7 @@ import (
 	"insitu/internal/render"
 	"insitu/internal/sim"
 	"insitu/internal/trace"
+	"insitu/internal/workload"
 )
 
 func main() {
@@ -45,8 +46,14 @@ func main() {
 		imgOut     = flag.String("images", "", "directory to write final-step renders to")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		timeline   = flag.Bool("timeline", false, "print the execution Gantt chart (temporal multiplexing)")
+		overload   = flag.Bool("overload", false, "run the fixed-seed staging-brownout scenario and print the overload/resilience summary")
 	)
 	flag.Parse()
+
+	if *overload {
+		runBrownout()
+		return
+	}
 
 	simCfg := sim.DefaultConfig(grid.NewBox(*nx, *ny, *nz), *px, *py, *pz)
 	simCfg.SubSteps = *substeps
@@ -174,6 +181,62 @@ func main() {
 			}
 		}
 	}
+}
+
+// runBrownout runs the fixed-seed slow-consumer brownout (the same
+// configuration the TestBrownoutSoak acceptance soak uses) and prints
+// the overload-control summary: what was shaped, shed, or run in-situ,
+// how the breakers cycled, and when each route recovered full hybrid.
+func runBrownout() {
+	fmt.Printf("s3dpipe: staging brownout, %d steps, slowdown x%d over decisions [%d,%d), seed %d\n\n",
+		workload.BrownoutSteps, workload.BrownoutFactor, workload.BrownoutFrom, workload.BrownoutUntil, workload.BrownoutSeed)
+	p, routes, err := workload.NewBrownoutPipeline(true)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := p.Run(workload.BrownoutSteps)
+	if err != nil {
+		fail(err)
+	}
+
+	o := rep.Overload
+	fmt.Println("overload control:")
+	fmt.Printf("  credits denied       %d\n", o.CreditsDenied)
+	fmt.Printf("  steps shaped         %d\n", o.StepsShaped)
+	fmt.Printf("  steps shed           %d\n", o.StepsShed)
+	fmt.Printf("  in-situ fallbacks    %d\n", o.StepsFallback)
+	fmt.Printf("  breaker opens        %d\n", o.BreakerOpens)
+	fmt.Printf("  breaker transitions  %d\n", o.BreakerTransitions)
+	r := rep.Resilience
+	fmt.Println("resilience:")
+	fmt.Printf("  faults injected      %d\n", r.Faults)
+	fmt.Printf("  retries              %d\n", r.Retries)
+	fmt.Printf("  requeues             %d\n", r.Requeues)
+	fmt.Printf("  dead letters         %d\n", r.DeadLetters)
+	fmt.Printf("  degraded steps       %d\n", r.DegradedSteps)
+
+	fmt.Println("\nrecovery:")
+	for _, name := range routes {
+		lastDegraded := 0
+		for step := 1; step <= workload.BrownoutSteps; step++ {
+			if _, ok := rep.Result(name, step).(core.Degraded); ok {
+				lastDegraded = step
+			}
+		}
+		if lastDegraded == 0 {
+			fmt.Printf("  %-28s never degraded\n", name)
+		} else {
+			fmt.Printf("  %-28s full hybrid again from step %d/%d\n",
+				name, lastDegraded+1, workload.BrownoutSteps)
+		}
+	}
+	for name, st := range p.BreakerStates() {
+		fmt.Printf("  %-28s breaker %v\n", name, st)
+	}
+	c := p.Credits()
+	fmt.Printf("  credits drained: %d/%d available, %d outstanding\n",
+		c.Available(), c.Total(), c.Outstanding())
+	fmt.Printf("  worst step wall: %v\n", rep.Metrics.MaxStepWall().Round(1e3))
 }
 
 // lastDue returns the last step at which a cadence-every analysis ran.

@@ -79,6 +79,18 @@ type hybridStage interface {
 	InSituStage(ctx *Ctx) ([]byte, error)
 }
 
+// ShapedStage is an optional extension of hybrid analyses: the
+// admission ladder's "shaped" rung asks the in-situ stage for a
+// reduced intermediate payload (a coarser downsample, fewer bins, a
+// truncated feature set) instead of abandoning the transit path
+// entirely. Level is the shaping intensity, 1 being the ladder's
+// single shaped rung; higher levels mean coarser payloads. Analyses
+// that do not implement ShapedStage skip the rung: the ladder maps
+// shaped straight to the in-situ fallback for them.
+type ShapedStage interface {
+	InSituStageShaped(ctx *Ctx, level int) ([]byte, error)
+}
+
 // InSituFallback is an optional extension of hybrid analyses: when the
 // pipeline decides the transit path is unhealthy (partition detected by
 // the health probe, or a task dead-lettered), it runs RunFallback —

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/overload"
+)
+
+// slowTransitAnalysis is a hybrid analysis whose in-transit stage
+// deliberately dawdles, so the single bucket stays busy and the
+// bounded task queue fills.
+type slowTransitAnalysis struct {
+	delay time.Duration
+}
+
+func (s *slowTransitAnalysis) Name() string { return "slow transit" }
+func (s *slowTransitAnalysis) Every() int   { return 1 }
+
+func (s *slowTransitAnalysis) InSituStage(ctx *Ctx) ([]byte, error) {
+	return []byte{byte(ctx.Step), byte(ctx.Comm.ID())}, nil
+}
+
+func (s *slowTransitAnalysis) InTransit(step int, payloads [][]byte) (any, error) {
+	time.Sleep(s.delay)
+	return step, nil
+}
+
+// TestShedAtSubmitRecyclesInputs is the pooled-buffer ownership
+// regression test for the shed path: when rank 0 has already produced
+// and pinned every rank's intermediate payload and the bounded task
+// queue then refuses the submission, the step must shed — recycling
+// each pinned region exactly once (PinnedRegions drains to zero, no
+// double-put panic under -race) and carrying an explicit shed marker.
+// The credit account must also drain: credits held by refused steps
+// are returned at the shed, not leaked.
+func TestShedAtSubmitRecyclesInputs(t *testing.T) {
+	cfg := DefaultConfig(testSimConfig(2, 1, 1))
+	cfg.Buckets = 1
+	cfg.DSServers = 1
+	// A queue bound of 1 with a big credit override guarantees the
+	// admission pass keeps granting credits while the queue is already
+	// full, forcing the submit-time ErrQueueFull shed path (rather than
+	// the credit floor hiding it).
+	cfg.Overload = &overload.Config{
+		QueueBound: 1,
+		Credits:    64,
+		// Keep the breaker and ladder out of the way: this test is about
+		// submit-time backpressure only.
+		Breaker: overload.BreakerConfig{FailureThreshold: 1 << 20, Cooldown: time.Hour},
+		Ladder: overload.LadderConfig{
+			QueueHigh: 1 << 20, QueueLow: 1 << 19,
+			DegradeAfter: 1 << 20, RecoverAfter: 1,
+		},
+	}
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Register(&slowTransitAnalysis{delay: 20 * time.Millisecond})
+
+	const steps = 8
+	rep, err := p.Run(steps)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := p.PinnedRegions(); got != 0 {
+		t.Fatalf("shed path leaked %d pinned regions", got)
+	}
+	shed := 0
+	for step := 1; step <= steps; step++ {
+		switch out := rep.Result("slow transit", step).(type) {
+		case Degraded:
+			if !strings.HasPrefix(out.Reason, "shed:") {
+				t.Fatalf("step %d degraded without a shed reason: %q", step, out.Reason)
+			}
+			shed++
+		case int:
+			if out != step {
+				t.Fatalf("step %d wrong transit result %d", step, out)
+			}
+		default:
+			t.Fatalf("step %d missing result (%T)", step, out)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("a 1-deep queue with a slow bucket must shed at least one step")
+	}
+	if rep.Overload.StepsShed != int64(shed) {
+		t.Fatalf("StepsShed = %d, want %d", rep.Overload.StepsShed, shed)
+	}
+	c := p.Credits()
+	if c == nil {
+		t.Fatal("overload pipeline must expose its credit account")
+	}
+	if c.Outstanding() != 0 || c.Available() != c.Total() {
+		t.Fatalf("credits leaked: outstanding=%d avail=%d total=%d",
+			c.Outstanding(), c.Available(), c.Total())
+	}
+}
+
+// TestOverloadLadderShedsViaCredits: with a tiny credit supply and no
+// queue headroom, the admission pass floors routes at the in-situ rung
+// the moment credits run dry — before any payload is produced — and
+// recovers once the tier drains. Uses an analysis with an in-situ
+// fallback so floored steps still yield a value.
+func TestOverloadCreditFloorFallsBackInSitu(t *testing.T) {
+	cfg := DefaultConfig(testSimConfig(2, 1, 1))
+	cfg.Buckets = 1
+	cfg.DSServers = 1
+	cfg.Overload = &overload.Config{
+		QueueBound: 1,
+		Credits:    1, // one task in flight, ever
+		Breaker:    overload.BreakerConfig{FailureThreshold: 1 << 20, Cooldown: time.Hour},
+		Ladder: overload.LadderConfig{
+			QueueHigh: 1 << 20, QueueLow: 1 << 19,
+			DegradeAfter: 1 << 20, RecoverAfter: 1,
+		},
+	}
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVizHybrid(24, 18, 8)
+	v.Var = "T"
+	p.Register(&slowTransitAnalysis{delay: 15 * time.Millisecond})
+	p.Register(v)
+
+	rep, err := p.Run(6)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if rep.Overload.CreditsDenied == 0 {
+		t.Fatal("a 1-credit account under steady submission must deny some acquisitions")
+	}
+	if got := p.PinnedRegions(); got != 0 {
+		t.Fatalf("%d pinned regions leaked", got)
+	}
+	c := p.Credits()
+	if c.Outstanding() != 0 || c.Available() != c.Total() {
+		t.Fatalf("credits leaked: outstanding=%d avail=%d total=%d",
+			c.Outstanding(), c.Available(), c.Total())
+	}
+	// Every viz step must have an outcome: a frame, or a Degraded
+	// marker whose reason names the ladder rung.
+	for step := 1; step <= 6; step++ {
+		out := rep.Result(v.Name(), step)
+		if out == nil {
+			t.Fatalf("viz step %d has no stored result", step)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"insitu/internal/dataspaces"
 	"insitu/internal/metrics"
 	"insitu/internal/netsim"
+	"insitu/internal/overload"
 	"insitu/internal/sim"
 	"insitu/internal/staging"
 	"insitu/internal/trace"
@@ -35,6 +37,12 @@ type Config struct {
 	// MaxTaskAttempts bounds how many times a task is handed to a
 	// bucket before it is dead-lettered (0 = staging default of 3).
 	MaxTaskAttempts int
+	// Overload, when non-nil, enables the graded overload-control
+	// plane: credit-based admission, a per-analysis-route circuit
+	// breaker, and the admission ladder (full → shaped → in-situ →
+	// shed) replace the single StepBudget probe as the degradation
+	// trigger. Nil keeps the legacy binary probe-and-fallback behavior.
+	Overload *overload.Config
 }
 
 // DefaultConfig mirrors the paper's resource ratios at laptop scale.
@@ -57,6 +65,11 @@ type Pipeline struct {
 
 	analyses []Analysis
 
+	// Overload-control plane (nil/empty when Config.Overload is nil).
+	ov     *overload.Config
+	est    *overload.Estimator
+	routes map[string]*routeState
+
 	mu      sync.Mutex
 	results map[string]map[int]any // analysis -> step -> output
 	runErrs []error
@@ -72,6 +85,25 @@ type Pipeline struct {
 	submitted int64
 	completed int64
 	simDone   bool
+}
+
+// routeState is one hybrid analysis route's overload-control state:
+// its circuit breaker, its admission ladder, and the last ladder level
+// marked on the trace (rank-0 admission only).
+type routeState struct {
+	breaker   *overload.Breaker
+	ladder    *overload.Ladder
+	lastLevel overload.Level
+}
+
+// admitDecision is rank 0's per-analysis admission verdict for one
+// step, broadcast so every rank takes the same branch (the in-situ
+// fallbacks use collectives).
+type admitDecision struct {
+	Name     string
+	Level    overload.Level
+	Reason   string
+	Credited bool
 }
 
 // NewPipeline validates the configuration and builds all subsystems.
@@ -101,6 +133,12 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		col:     metrics.NewCollector(),
 		results: make(map[string]map[int]any),
 		eps:     make(map[int]*dart.Endpoint),
+	}
+	if cfg.Overload != nil {
+		ov := cfg.Overload.WithDefaults()
+		p.ov = &ov
+		p.est = overload.NewEstimator(ov.LatencyAlpha, ov.QueueAlpha)
+		p.routes = make(map[string]*routeState)
 	}
 	// Pooled buffers are safe here because every in-transit handler in
 	// core decodes its payloads into private structures (Unmarshal*)
@@ -202,6 +240,7 @@ type Report struct {
 	Metrics    *metrics.Collector
 	Net        netsim.Stats
 	Resilience metrics.Resilience
+	Overload   metrics.Overload
 	Errs       []error
 }
 
@@ -228,6 +267,37 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 	}
 	p.ran = true
 	p.mu.Unlock()
+
+	// Overload control: bound the task queue, size the credit account
+	// to the most work the transit tier can hold (buckets draining plus
+	// a full queue), reserve a floor per hybrid analysis, and give each
+	// route its breaker and ladder.
+	if p.ov != nil {
+		p.ds.SetQueueBound(p.ov.QueueBound)
+		reservations := make(map[string]int)
+		for _, a := range p.analyses {
+			if _, ok := a.(hybridStage); ok {
+				reservations[a.Name()] = p.ov.Reserve
+				p.routes[a.Name()] = &routeState{
+					breaker: overload.NewBreaker(p.ov.Breaker),
+					ladder:  overload.NewLadder(p.ov.Ladder),
+				}
+			}
+		}
+		total := p.ov.Credits
+		if total <= 0 {
+			total = p.cfg.Buckets + p.ov.QueueBound
+		}
+		// Reservations only make sense when the supply can cover them
+		// with headroom to spare; a tiny account degrades to one shared
+		// pool rather than failing or starving every route.
+		if p.ov.Reserve*len(reservations) >= total {
+			reservations = nil
+		}
+		if err := p.ds.EnableCredits(total, reservations); err != nil {
+			return nil, err
+		}
+	}
 
 	// Install staging handlers. Streaming stages take precedence when
 	// an analysis implements both kinds.
@@ -258,6 +328,7 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 					fmt.Sprintf("%s@%d", res.Task.Analysis, res.Task.Step),
 					res.Start, res.End)
 			}
+			p.observeResult(res)
 			switch {
 			case res.DeadLetter:
 				// The task's data already left the ranks, so no in-situ
@@ -273,6 +344,14 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 			case res.Err != nil:
 				p.recordErr(fmt.Errorf("core: in-transit %s step %d: %w",
 					res.Task.Analysis, res.Task.Step, res.Err))
+			case res.Task.Shaped > 0:
+				// A shaped step completed on the transit path, but at
+				// reduced fidelity: mark it so consumers can tell it from
+				// a full-quality result.
+				p.storeResult(res.Task.Analysis, res.Task.Step, Degraded{
+					Reason: fmt.Sprintf("shaped: coarser payload (level %d)", res.Task.Shaped),
+					Value:  res.Output,
+				})
 			default:
 				p.storeResult(res.Task.Analysis, res.Task.Step, res.Output)
 			}
@@ -303,6 +382,17 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 	<-drained
 
 	p.col.RecordResilience(p.resilience())
+	if p.ov != nil {
+		var o metrics.Overload
+		if c := p.ds.Credits(); c != nil {
+			o.CreditsDenied = c.Denied()
+		}
+		for _, rs := range p.routes {
+			o.BreakerOpens += rs.breaker.Opens()
+			o.BreakerTransitions += rs.breaker.Transitions()
+		}
+		p.col.RecordOverload(o)
+	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -312,6 +402,7 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 		Metrics:    p.col,
 		Net:        p.net.Stats(),
 		Resilience: p.col.Resilience(),
+		Overload:   p.col.Overload(),
 		Errs:       append([]error{}, p.runErrs...),
 	}
 	if len(rep.Errs) > 0 {
@@ -346,6 +437,128 @@ func (p *Pipeline) resilience() metrics.Resilience {
 	}
 }
 
+// observeResult feeds one final in-transit result into the route's
+// breaker and the shared latency estimator. Only the drain goroutine
+// calls it. Task outcomes move a breaker out of Closed only — a stale
+// in-flight result cannot flip a route the prober is recovering.
+func (p *Pipeline) observeResult(res staging.Result) {
+	if p.ov == nil {
+		return
+	}
+	rs := p.routes[res.Task.Analysis]
+	if rs == nil {
+		return
+	}
+	now := time.Now()
+	prev := rs.breaker.State()
+	if res.Err != nil {
+		rs.breaker.RecordFailure(now)
+	} else {
+		lat := res.End.Sub(res.Start)
+		rs.breaker.RecordSuccess(now, lat)
+		p.est.ObserveLatency(lat)
+	}
+	p.markBreaker(res.Task.Analysis, prev, rs.breaker.State(), res.Task.Step)
+}
+
+// markBreaker drops a trace mark when a route's breaker moved.
+func (p *Pipeline) markBreaker(name string, prev, cur overload.BreakerState, step int) {
+	if p.tl == nil || prev == cur {
+		return
+	}
+	p.tl.Mark("overload", fmt.Sprintf("%s breaker %s→%s@%d", name, prev, cur, step), time.Now())
+}
+
+// probeRoute runs the half-open health probe: a tiny Get against the
+// staging area's probe region. The verdict uses the *modeled* transfer
+// duration against ProbeLatencyMax, so a browned-out tier — slow but
+// delivering — fails the probe even though the wall time of a 16-byte
+// pull is negligible either way. The wall time is additionally bounded
+// by a real deadline so a stalled fabric cannot block admission.
+func (p *Pipeline) probeRoute(ep *dart.Endpoint) bool {
+	deadline := time.Now().Add(p.ov.ProbeLatencyMax + 50*time.Millisecond)
+	data, modeled, err := ep.GetDeadline(p.area.ProbeHandle(), deadline)
+	if err != nil {
+		return false
+	}
+	bufpool.Put(data)
+	return modeled <= p.ov.ProbeLatencyMax
+}
+
+// admitStep is rank 0's admission pass for one step: for every hybrid
+// analysis due, consult the route's breaker (running the half-open
+// probe when asked), fold the pressure signals into the admission
+// ladder, and acquire a transit credit for levels that will submit.
+// A route that cannot get a credit floors at the in-situ rung for the
+// step — admission never blocks and never over-commits the tier.
+func (p *Pipeline) admitStep(ep *dart.Endpoint, step int) []admitDecision {
+	var out []admitDecision
+	credits := p.ds.Credits()
+	p.est.ObserveQueue(float64(p.ds.QueueDepth()))
+	for _, a := range p.analyses {
+		an, ok := a.(hybridStage)
+		if !ok || !due(a, step) {
+			continue
+		}
+		name := an.Name()
+		rs := p.routes[name]
+		now := time.Now()
+		prev := rs.breaker.State()
+		if rs.breaker.Allow(now) == overload.Probe {
+			ok := p.probeRoute(ep)
+			rs.breaker.RecordProbe(time.Now(), ok)
+		}
+		cur := rs.breaker.State()
+		p.markBreaker(name, prev, cur, step)
+
+		sig := overload.Signals{
+			BreakerOpen:      cur != overload.Closed,
+			CreditsExhausted: credits.Exhausted(name),
+			QueueDepth:       p.est.Queue(),
+			Latency:          p.est.Latency(),
+		}
+		level := rs.ladder.Observe(sig)
+		reason := fmt.Sprintf("%s: breaker %s, queue %.1f, latency %s",
+			level, cur, sig.QueueDepth, sig.Latency.Round(time.Microsecond))
+		// Analyses without a shaped stage skip that rung.
+		if level == overload.LevelShaped {
+			if _, shapes := a.(ShapedStage); !shapes {
+				level = overload.LevelInSitu
+				reason = "in-situ: no shaped stage; " + reason
+			}
+		}
+		credited := false
+		if level <= overload.LevelShaped {
+			if credits.Acquire(name) {
+				credited = true
+			} else {
+				level = overload.LevelInSitu
+				reason = "in-situ: no transit credit; " + reason
+			}
+		}
+		if p.tl != nil && level != rs.lastLevel {
+			p.tl.Mark("overload", fmt.Sprintf("%s ladder %s→%s@%d", name, rs.lastLevel, level, step), time.Now())
+		}
+		rs.lastLevel = level
+		out = append(out, admitDecision{Name: name, Level: level, Reason: reason, Credited: credited})
+	}
+	return out
+}
+
+// Credits returns the transit tier's credit account (nil unless
+// overload control is enabled).
+func (p *Pipeline) Credits() *dataspaces.Credits { return p.ds.Credits() }
+
+// BreakerStates returns each hybrid route's current breaker position
+// (empty unless overload control is enabled).
+func (p *Pipeline) BreakerStates() map[string]overload.BreakerState {
+	out := make(map[string]overload.BreakerState, len(p.routes))
+	for name, rs := range p.routes {
+		out[name] = rs.breaker.State()
+	}
+	return out
+}
+
 // rankLoop is one rank's simulation + in-situ schedule.
 func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 	rk, err := p.sim.NewRank(r)
@@ -367,20 +580,36 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 	}
 
 	for step := 1; step <= steps; step++ {
-		t0 := time.Now()
+		stepStart := time.Now()
 		rk.Step()
-		p.col.RecordSimStep(step, time.Since(t0))
+		p.col.RecordSimStep(step, time.Since(stepStart))
 		if p.tl != nil && r.ID() == 0 {
-			p.tl.Add("sim", fmt.Sprintf("step %d", step), t0, time.Now())
+			p.tl.Add("sim", fmt.Sprintf("step %d", step), stepStart, time.Now())
 		}
 		ctx.Step = step
 
-		// Transit-health check: when a step budget is configured and
-		// hybrid work is due, rank 0 probes the staging area within the
-		// budget and broadcasts the verdict, so every rank takes the
-		// same branch (the in-situ fallbacks use collectives).
+		// Admission. With overload control enabled, rank 0 runs the
+		// breaker + ladder admission pass and broadcasts the verdicts so
+		// every rank takes the same branch (the in-situ fallbacks use
+		// collectives). Without it, the legacy transit-health check
+		// applies: when a step budget is configured and hybrid work is
+		// due, rank 0 probes the staging area within the budget and a
+		// failed probe degrades the whole step to in-situ fallbacks.
+		var decisions map[string]admitDecision
 		degradeReason := ""
-		if p.cfg.StepBudget > 0 && p.hybridDue(step) {
+		if p.ov != nil {
+			if p.hybridDue(step) {
+				var decs []admitDecision
+				if r.ID() == 0 {
+					decs = p.admitStep(ep, step)
+				}
+				decs = r.Broadcast(0, decs).([]admitDecision)
+				decisions = make(map[string]admitDecision, len(decs))
+				for _, d := range decs {
+					decisions[d.Name] = d
+				}
+			}
+		} else if p.cfg.StepBudget > 0 && p.hybridDue(step) {
 			if r.ID() == 0 {
 				if err := p.probeTransit(ep); err != nil {
 					degradeReason = fmt.Sprintf("transit probe: %v", err)
@@ -418,9 +647,40 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 					p.runFallback(ctx, r, an, step, degradeReason)
 					continue
 				}
+				shaped := 0
+				if dec, ok := decisions[an.Name()]; ok {
+					switch dec.Level {
+					case overload.LevelShed:
+						// Shed: no work at all this step, only an explicit
+						// marker so the step is never silently missing.
+						if r.ID() == 0 {
+							p.storeResult(an.Name(), step, Degraded{Reason: dec.Reason})
+							p.col.AddShedStep()
+						}
+						continue
+					case overload.LevelInSitu:
+						if r.ID() == 0 {
+							p.col.AddOverloadFallback()
+							p.col.AddDegradedStep()
+						}
+						p.runFallback(ctx, r, an, step, dec.Reason)
+						continue
+					case overload.LevelShaped:
+						shaped = 1
+						if r.ID() == 0 {
+							p.col.AddShapedStep()
+						}
+					}
+				}
 				anyHybrid = true
 				t := time.Now()
-				payload, err := an.InSituStage(ctx)
+				var payload []byte
+				var err error
+				if shaped > 0 {
+					payload, err = an.(ShapedStage).InSituStageShaped(ctx, shaped)
+				} else {
+					payload, err = an.InSituStage(ctx)
+				}
 				p.col.RecordInSitu(an.Name(), step, time.Since(t))
 				if err != nil {
 					p.recordErr(fmt.Errorf("core: in-situ stage %s step %d rank %d: %w", an.Name(), step, r.ID(), err))
@@ -452,10 +712,23 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 					if _, ok := a.(hybridStage); !ok || !due(a, step) {
 						continue
 					}
+					dec, admitted := decisions[a.Name()]
+					if admitted && dec.Level > overload.LevelShaped {
+						continue // shed or fell back in-situ: nothing staged
+					}
 					inputs := p.ds.Query(a.Name(), step)
 					sortByRank(inputs)
-					if _, err := p.ds.SubmitTaskDeadline(a.Name(), step, inputs, deadline); err != nil {
-						p.recordErr(fmt.Errorf("core: submit %s step %d: %w", a.Name(), step, err))
+					spec := dataspaces.TaskSpec{
+						Analysis: a.Name(), Step: step, Inputs: inputs, Deadline: deadline,
+					}
+					if admitted {
+						if dec.Level == overload.LevelShaped {
+							spec.Shaped = 1
+						}
+						spec.Credited = dec.Credited
+					}
+					if _, err := p.ds.SubmitSpec(spec); err != nil {
+						p.shedSubmitted(a.Name(), step, inputs, dec, err)
 					} else {
 						p.mu.Lock()
 						p.submitted++
@@ -465,8 +738,36 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 				}
 			}
 		}
+		p.col.RecordStepWall(step, time.Since(stepStart))
 	}
 	return nil
+}
+
+// shedSubmitted disposes of a step whose intermediate payloads were
+// already produced and pinned when submission failed: the transit tier
+// refused the task (bounded queue full) or the service was gone. The
+// pinned regions are reclaimed and their buffers recycled exactly once
+// — the same linear-ownership rule as the dead-letter path — the
+// flow-control credit is returned, and the step is stored as an
+// explicit shed marker instead of leaking regions and vanishing.
+func (p *Pipeline) shedSubmitted(name string, step int, inputs []dataspaces.Descriptor, dec admitDecision, cause error) {
+	for _, in := range inputs {
+		p.releaseHandle(in)
+	}
+	if dec.Credited {
+		if c := p.ds.Credits(); c != nil {
+			c.Release(name)
+		}
+	}
+	p.storeResult(name, step, Degraded{Reason: fmt.Sprintf("shed: %v", cause)})
+	p.col.AddShedStep()
+	if p.tl != nil {
+		p.tl.Mark("overload", fmt.Sprintf("%s shed at submit@%d", name, step), time.Now())
+	}
+	if !errors.Is(cause, dataspaces.ErrQueueFull) {
+		// Backpressure is expected; anything else is a real error too.
+		p.recordErr(fmt.Errorf("core: submit %s step %d: %w", name, step, cause))
+	}
 }
 
 // hybridDue reports whether any hybrid analysis runs at this step.

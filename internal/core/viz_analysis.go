@@ -132,6 +132,18 @@ func (v *VizHybrid) Every() int { return v.EveryN }
 
 // InSituStage implements HybridAnalysis: down-sample and marshal.
 func (v *VizHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
+	return v.stage(ctx, 0)
+}
+
+// InSituStageShaped implements ShapedStage: under overload the ladder's
+// shaped rung doubles the down-sampling factor per shaping level, so a
+// browned-out staging tier receives an eighth of the bytes per level of
+// pressure instead of nothing.
+func (v *VizHybrid) InSituStageShaped(ctx *Ctx, level int) ([]byte, error) {
+	return v.stage(ctx, level)
+}
+
+func (v *VizHybrid) stage(ctx *Ctx, level int) ([]byte, error) {
 	name := v.Var
 	if name == "" {
 		name = "T"
@@ -143,6 +155,9 @@ func (v *VizHybrid) InSituStage(ctx *Ctx) ([]byte, error) {
 	factor := v.Factor
 	if factor < 1 {
 		factor = 8
+	}
+	for i := 0; i < level; i++ {
+		factor *= 2
 	}
 	payload, _ := render.DownsampleForTransit(f, ctx.Owned, factor)
 	return payload, nil

@@ -64,6 +64,24 @@ type Task struct {
 	// past it fail and the task is eventually dead-lettered. It is set
 	// from the submitting step's deadline budget.
 	Deadline time.Time
+	// Shaped is the admission ladder's payload-shaping level the task
+	// was produced at (0 = full payload). The transit tier carries it
+	// through so results can be marked as reduced-fidelity.
+	Shaped int
+	// Credited records that the producer holds a flow-control credit
+	// for this task; FinishTask releases it exactly once when the
+	// task's final result settles. It survives requeues.
+	Credited bool
+}
+
+// TaskSpec describes a task submission.
+type TaskSpec struct {
+	Analysis string
+	Step     int
+	Inputs   []Descriptor
+	Deadline time.Time
+	Shaped   int
+	Credited bool
 }
 
 // Service is the coordination service: a sharded descriptor index plus
@@ -77,6 +95,9 @@ type Service struct {
 	queue   []Task      // pending tasks, FIFO
 	waiting []chan Task // free buckets, FIFO
 	closed  bool
+	bound   int // max queued (unassigned) tasks; 0 = unbounded
+
+	credits *Credits
 
 	assigned int64 // tasks handed to buckets
 	requeues int64 // failed tasks pushed back for another attempt
@@ -98,6 +119,62 @@ func New(fabric *dart.Fabric, servers int) (*Service, error) {
 
 // ErrClosed is returned by blocking operations after Close.
 var ErrClosed = errors.New("dataspaces: service closed")
+
+// ErrQueueFull is returned by SubmitSpec when the bounded task queue is
+// at capacity and no bucket is waiting — the backpressure signal the
+// admission ladder reacts to instead of letting the queue grow.
+var ErrQueueFull = errors.New("dataspaces: task queue full")
+
+// SetQueueBound bounds the number of *queued* (submitted but not yet
+// assigned) tasks; submissions beyond it fail with ErrQueueFull. Zero
+// removes the bound. Tasks handed directly to a waiting bucket never
+// count against it, and Requeue is exempt: a requeued task already
+// held queue occupancy once and must not be lost to backpressure.
+func (s *Service) SetQueueBound(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bound = n
+}
+
+// EnableCredits attaches a credit account to the service, sized to
+// `total` credits with the given per-analysis reservations. Producers
+// acquire credits before submitting; the staging tier settles them via
+// FinishTask as final results drain.
+func (s *Service) EnableCredits(total int, reservations map[string]int) error {
+	c, err := NewCredits(total, reservations)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.credits = c
+	return nil
+}
+
+// Credits returns the service's credit account, or nil if credits are
+// not enabled.
+func (s *Service) Credits() *Credits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.credits
+}
+
+// FinishTask settles a task whose final result (success, handler
+// error, or dead-letter) has been produced, releasing its flow-control
+// credit if it holds one. It is idempotent per task only in the sense
+// that callers must invoke it exactly once per final result — the
+// staging tier does so at its single result-emission point.
+func (s *Service) FinishTask(t Task) {
+	if !t.Credited {
+		return
+	}
+	s.mu.Lock()
+	c := s.credits
+	s.mu.Unlock()
+	if c != nil {
+		c.Release(t.Analysis)
+	}
+}
 
 // shard returns the server responsible for a key.
 func (s *Service) shard(k key) *server {
@@ -177,13 +254,33 @@ func (s *Service) SubmitTask(analysis string, step int, inputs []Descriptor) (in
 // SubmitTaskDeadline is SubmitTask with a data-movement deadline
 // attached to the task (zero means none).
 func (s *Service) SubmitTaskDeadline(analysis string, step int, inputs []Descriptor, deadline time.Time) (int64, error) {
+	return s.SubmitSpec(TaskSpec{Analysis: analysis, Step: step, Inputs: inputs, Deadline: deadline})
+}
+
+// SubmitSpec records a data-ready event from a full task spec. If a
+// bucket is already waiting, the task is handed over immediately;
+// otherwise it joins the queue, failing with ErrQueueFull when a
+// queue bound is set and reached.
+func (s *Service) SubmitSpec(spec TaskSpec) (int64, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
+	if len(s.waiting) == 0 && s.bound > 0 && len(s.queue) >= s.bound {
+		s.mu.Unlock()
+		return 0, ErrQueueFull
+	}
 	s.nextID++
-	t := Task{ID: s.nextID, Analysis: analysis, Step: step, Inputs: inputs, Deadline: deadline}
+	t := Task{
+		ID:       s.nextID,
+		Analysis: spec.Analysis,
+		Step:     spec.Step,
+		Inputs:   spec.Inputs,
+		Deadline: spec.Deadline,
+		Shaped:   spec.Shaped,
+		Credited: spec.Credited,
+	}
 	if len(s.waiting) > 0 {
 		ch := s.waiting[0]
 		s.waiting = s.waiting[1:]

@@ -1,6 +1,7 @@
 package dataspaces
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -85,6 +86,112 @@ func TestRequeueAfterCloseErrors(t *testing.T) {
 	s.Close()
 	if err := s.Requeue(Task{ID: 1}); err != ErrClosed {
 		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+// TestConcurrentRequeueOrdering: several buckets failing at once all
+// push their tasks back to the head of the queue. The relative order
+// among the racing requeues is scheduler-dependent, but every requeued
+// (older) task must still be served before any younger queued work,
+// each with its attempt count bumped exactly once.
+func TestConcurrentRequeueOrdering(t *testing.T) {
+	const old, young = 4, 3
+	s := newService(t, 1)
+	for i := 0; i < old; i++ {
+		if _, err := s.SubmitTask("a", i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assigned := make([]Task, old)
+	for i := range assigned {
+		task, err := s.BucketReady()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigned[i] = task
+	}
+	// Younger work arrives while the old tasks are in flight.
+	for i := 0; i < young; i++ {
+		if _, err := s.SubmitTask("a", 100+i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, task := range assigned {
+		wg.Add(1)
+		go func(task Task) {
+			defer wg.Done()
+			if err := s.Requeue(task); err != nil {
+				t.Error(err)
+			}
+		}(task)
+	}
+	wg.Wait()
+	if s.Requeues() != old {
+		t.Fatalf("requeue counter %d, want %d", s.Requeues(), old)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < old; i++ {
+		task, err := s.BucketReady()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Step >= 100 {
+			t.Fatalf("younger task (step %d) served before a requeued one", task.Step)
+		}
+		if task.Attempts != 1 {
+			t.Fatalf("step %d: attempts = %d, want 1", task.Step, task.Attempts)
+		}
+		if seen[task.Step] {
+			t.Fatalf("step %d served twice", task.Step)
+		}
+		seen[task.Step] = true
+	}
+	for i := 0; i < young; i++ {
+		task, err := s.BucketReady()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Step != 100+i {
+			t.Fatalf("younger work out of order: got step %d, want %d", task.Step, 100+i)
+		}
+	}
+}
+
+// TestRequeueKeepsCredit: the flow-control credit rides the task across
+// requeues — a requeue must NOT release it (the work is still in the
+// transit tier) and the eventual FinishTask settles it exactly once.
+func TestRequeueKeepsCredit(t *testing.T) {
+	s := newService(t, 1)
+	if err := s.EnableCredits(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Credits().Acquire("a") {
+		t.Fatal("acquire must succeed")
+	}
+	if _, err := s.SubmitSpec(TaskSpec{Analysis: "a", Step: 1, Credited: true}); err != nil {
+		t.Fatal(err)
+	}
+	task, err := s.BucketReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Requeue(task); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Credits().Outstanding(); got != 1 {
+		t.Fatalf("requeue must not settle the credit, outstanding=%d", got)
+	}
+	task, err = s.BucketReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !task.Credited {
+		t.Fatal("Credited flag lost across requeue")
+	}
+	s.FinishTask(task)
+	if got := s.Credits().Outstanding(); got != 0 {
+		t.Fatalf("outstanding=%d after FinishTask, want 0", got)
 	}
 }
 

@@ -102,6 +102,37 @@ func (w Window) covers(idx, from, to int) bool {
 	return false
 }
 
+// SlowdownWindow schedules a sustained bandwidth collapse — a staging
+// brownout — in decision-index space: while the injector's global
+// decision counter is in [From, Until), any transfer touching one of
+// Endpoints (an empty list matches every transfer) is delivered intact
+// but at collapsed bandwidth, its modeled duration multiplied by
+// Factor. Unlike the probabilistic Slowdown rate, a window perturbs
+// every covered attempt, which is what a slow consumer looks like: not
+// occasional hiccups but a sustained drop in drain rate.
+type SlowdownWindow struct {
+	From, Until int
+	Endpoints   []int
+	// Factor multiplies the modeled duration (0 means
+	// Config.SlowdownFactor).
+	Factor float64
+}
+
+func (w SlowdownWindow) covers(idx, from, to int) bool {
+	if idx < w.From || idx >= w.Until {
+		return false
+	}
+	if len(w.Endpoints) == 0 {
+		return true
+	}
+	for _, e := range w.Endpoints {
+		if e == from || e == to {
+			return true
+		}
+	}
+	return false
+}
+
 // Config describes a fault schedule.
 type Config struct {
 	// Seed drives the PRNG; the same seed reproduces the same
@@ -117,6 +148,9 @@ type Config struct {
 	PerEndpoint map[int]Rates
 	// Partitions are the scheduled link-partition windows.
 	Partitions []Window
+	// Slowdowns are the scheduled bandwidth-collapse (brownout)
+	// windows. Partitions take precedence when both cover an attempt.
+	Slowdowns []SlowdownWindow
 	// CorruptBits is the number of bit flips per corruption
 	// (default 3).
 	CorruptBits int
@@ -212,6 +246,15 @@ func (inj *Injector) decideLocked(idx, from, to, path, size int) Decision {
 	for _, w := range inj.cfg.Partitions {
 		if w.covers(idx, from, to) {
 			return Decision{Kind: Partition}
+		}
+	}
+	for _, w := range inj.cfg.Slowdowns {
+		if w.covers(idx, from, to) {
+			f := w.Factor
+			if f <= 1 {
+				f = inj.cfg.SlowdownFactor
+			}
+			return Decision{Kind: Slowdown, Factor: f}
 		}
 	}
 	r := inj.rates(from, to, path)

@@ -145,3 +145,49 @@ func TestCounterMap(t *testing.T) {
 		t.Fatalf("injected count %d, want 1", inj.Counters().Injected())
 	}
 }
+
+// TestSlowdownWindow: inside the window every covered attempt is
+// slowed with the window's factor (falling back to SlowdownFactor);
+// an empty endpoint list covers every transfer; outside the window
+// transfers pass untouched.
+func TestSlowdownWindow(t *testing.T) {
+	inj := New(Config{
+		Seed:           1,
+		SlowdownFactor: 25,
+		Slowdowns: []SlowdownWindow{
+			{From: 0, Until: 2, Endpoints: []int{7}, Factor: 100},
+			{From: 2, Until: 4}, // all endpoints, default factor
+		},
+	})
+	// idx 0: endpoint 7 covered, explicit factor.
+	if d := inj.Decide(7, 1, 0, 64); d.Kind != Slowdown || d.Factor != 100 {
+		t.Fatalf("idx 0: %+v, want slowdown factor 100", d)
+	}
+	// idx 1: endpoint not listed -> unperturbed.
+	if d := inj.Decide(3, 4, 0, 64); d.Kind != None {
+		t.Fatalf("idx 1: %+v, want none", d)
+	}
+	// idx 2,3: the match-all window with the config default factor.
+	for i := 0; i < 2; i++ {
+		if d := inj.Decide(3, 4, 0, 64); d.Kind != Slowdown || d.Factor != 25 {
+			t.Fatalf("idx %d: %+v, want slowdown factor 25", 2+i, d)
+		}
+	}
+	// idx 4: window closed.
+	if d := inj.Decide(7, 1, 0, 64); d.Kind != None {
+		t.Fatalf("idx 4: %+v, want none", d)
+	}
+}
+
+// TestPartitionBeatsSlowdown: when both windows cover an attempt the
+// partition wins — a cut link cannot also be merely slow.
+func TestPartitionBeatsSlowdown(t *testing.T) {
+	inj := New(Config{
+		Seed:       1,
+		Partitions: []Window{{From: 0, Until: 1, Endpoints: []int{2}}},
+		Slowdowns:  []SlowdownWindow{{From: 0, Until: 1}},
+	})
+	if d := inj.Decide(2, 5, 0, 64); d.Kind != Partition {
+		t.Fatalf("got %+v, want partition", d)
+	}
+}

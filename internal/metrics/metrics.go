@@ -51,6 +51,18 @@ type Resilience struct {
 	DegradedSteps    int64 // analysis steps that fell back fully in-situ
 }
 
+// Overload aggregates the overload-control plane's counters: how often
+// backpressure denied admission, how the admission ladder shaped or
+// shed work, and how the per-route circuit breakers moved.
+type Overload struct {
+	CreditsDenied      int64 // credit acquisitions refused (account dry)
+	StepsShaped        int64 // analysis steps admitted at reduced payload
+	StepsShed          int64 // analysis steps dropped with a shed marker
+	StepsFallback      int64 // analysis steps forced in-situ by the ladder
+	BreakerOpens       int64 // closed->open trips across all routes
+	BreakerTransitions int64 // all breaker state transitions
+}
+
 // Collector gathers samples during a pipeline run.
 type Collector struct {
 	mu sync.Mutex
@@ -61,7 +73,10 @@ type Collector struct {
 	inSituMax map[string]map[int]time.Duration // analysis -> step -> max over ranks
 	move      map[string]*Breakdown            // movement + in-transit accumulation
 
-	res Resilience
+	stepWall map[int]time.Duration // step -> max simulation-side wall time over ranks
+
+	res  Resilience
+	over Overload
 }
 
 // NewCollector returns an empty collector.
@@ -70,6 +85,7 @@ func NewCollector() *Collector {
 		simMax:    make(map[int]time.Duration),
 		inSituMax: make(map[string]map[int]time.Duration),
 		move:      make(map[string]*Breakdown),
+		stepWall:  make(map[int]time.Duration),
 	}
 }
 
@@ -120,6 +136,86 @@ func (c *Collector) AddDegradedStep() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.res.DegradedSteps++
+}
+
+// AddShapedStep counts one analysis step admitted at a reduced
+// (shaped) payload level.
+func (c *Collector) AddShapedStep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.over.StepsShaped++
+}
+
+// AddShedStep counts one analysis step dropped outright by the
+// admission ladder or submit-time backpressure.
+func (c *Collector) AddShedStep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.over.StepsShed++
+}
+
+// AddOverloadFallback counts one analysis step the admission ladder
+// forced fully in-situ.
+func (c *Collector) AddOverloadFallback() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.over.StepsFallback++
+}
+
+// RecordOverload installs the end-of-run overload counters (credit
+// denials, breaker transitions), preserving the shaped/shed/fallback
+// step counts accumulated during the run.
+func (c *Collector) RecordOverload(o Overload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o.StepsShaped = c.over.StepsShaped
+	o.StepsShed = c.over.StepsShed
+	o.StepsFallback = c.over.StepsFallback
+	c.over = o
+}
+
+// Overload returns the run's overload-control counters.
+func (c *Collector) Overload() Overload {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.over
+}
+
+// RecordStepWall records one rank's total simulation-side wall time
+// for a step (solver + in-situ stages + admission + submission),
+// keeping the per-step maximum across ranks. The brownout soak bounds
+// this against an unloaded baseline.
+func (c *Collector) RecordStepWall(step int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > c.stepWall[step] {
+		c.stepWall[step] = d
+	}
+}
+
+// StepWalls returns the per-step maximum simulation-side wall times,
+// indexed by step, for every recorded step.
+func (c *Collector) StepWalls() map[int]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]time.Duration, len(c.stepWall))
+	for s, d := range c.stepWall {
+		out[s] = d
+	}
+	return out
+}
+
+// MaxStepWall returns the largest per-step simulation-side wall time.
+func (c *Collector) MaxStepWall() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max time.Duration
+	for _, d := range c.stepWall {
+		if d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // RecordResilience installs the transport- and staging-layer failure

@@ -108,3 +108,34 @@ func TestCollectorConcurrent(t *testing.T) {
 		t.Fatalf("concurrent transit bytes: %d", b.MoveBytes)
 	}
 }
+
+func TestOverloadCountersMergePreservesIncrementals(t *testing.T) {
+	c := NewCollector()
+	c.AddShapedStep()
+	c.AddShapedStep()
+	c.AddShedStep()
+	c.AddOverloadFallback()
+	c.RecordOverload(Overload{CreditsDenied: 5, BreakerOpens: 2, BreakerTransitions: 7})
+	o := c.Overload()
+	if o.StepsShaped != 2 || o.StepsShed != 1 || o.StepsFallback != 1 {
+		t.Fatalf("incremental counts clobbered by merge: %+v", o)
+	}
+	if o.CreditsDenied != 5 || o.BreakerOpens != 2 || o.BreakerTransitions != 7 {
+		t.Fatalf("snapshot counts lost: %+v", o)
+	}
+}
+
+func TestStepWallKeepsMaxAcrossRanks(t *testing.T) {
+	c := NewCollector()
+	c.RecordStepWall(1, 10*time.Millisecond)
+	c.RecordStepWall(1, 30*time.Millisecond) // slower rank wins
+	c.RecordStepWall(1, 20*time.Millisecond)
+	c.RecordStepWall(2, 5*time.Millisecond)
+	walls := c.StepWalls()
+	if walls[1] != 30*time.Millisecond || walls[2] != 5*time.Millisecond {
+		t.Fatalf("step walls %v", walls)
+	}
+	if c.MaxStepWall() != 30*time.Millisecond {
+		t.Fatalf("max step wall %v, want 30ms", c.MaxStepWall())
+	}
+}

@@ -1,0 +1,540 @@
+// Package overload is the control-plane policy layer of the pipeline's
+// overload protection: it decides, per step and per analysis route,
+// how much of the hybrid in-situ/in-transit path the simulation may
+// use when the staging tier falls behind simulation cadence.
+//
+// Three cooperating pieces implement the graded flow control that
+// production in-situ stacks (ElasticBroker, Catalyst-ADIOS2) converge
+// on instead of an on/off fallback switch:
+//
+//   - Estimator: exponentially weighted moving averages of in-transit
+//     task latency and task-queue depth — the pressure signals.
+//   - Breaker: a per-analysis-route circuit breaker (closed → open on
+//     consecutive failures or a latency-EWMA threshold → half-open
+//     probe → closed), gating whether the route may touch the transit
+//     tier at all.
+//   - Ladder: the admission ladder, a hysteretic policy that maps the
+//     pressure signals onto graded degradation levels — full hybrid,
+//     shaped (reduced payload), in-situ fallback, shed — dropping fast
+//     under pressure and climbing back one rung at a time as pressure
+//     drains, so recovery never oscillates.
+//
+// The package is pure policy: it holds no channels, spawns no
+// goroutines and touches no transport. core.Pipeline feeds it
+// observations and obeys its verdicts; dataspaces.Credits supplies the
+// credit-availability signal.
+package overload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average over float64
+// samples. The zero value (alpha 0) adopts the first sample and then
+// never moves; callers should construct it with a real alpha.
+type EWMA struct {
+	alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1];
+// larger alpha weights recent samples more.
+func NewEWMA(alpha float64) EWMA { return EWMA{alpha: alpha} }
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(x float64) {
+	if !e.init {
+		e.v, e.init = x, true
+		return
+	}
+	e.v += e.alpha * (x - e.v)
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Reset discards the accumulated average.
+func (e *EWMA) Reset() { e.v, e.init = 0, false }
+
+// Estimator tracks the two pressure signals the admission ladder
+// consumes: the latency EWMA of completed in-transit tasks and the
+// depth EWMA of the DataSpaces task queue. It is thread-safe: the
+// drain goroutine observes latencies while rank 0 observes queue
+// depths and reads both.
+type Estimator struct {
+	mu    sync.Mutex
+	lat   EWMA // seconds
+	queue EWMA // tasks
+}
+
+// NewEstimator returns an estimator with the given smoothing factors.
+func NewEstimator(latAlpha, queueAlpha float64) *Estimator {
+	return &Estimator{lat: NewEWMA(latAlpha), queue: NewEWMA(queueAlpha)}
+}
+
+// ObserveLatency folds one completed task's wall latency in.
+func (e *Estimator) ObserveLatency(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lat.Observe(d.Seconds())
+}
+
+// ObserveQueue folds one task-queue depth sample in.
+func (e *Estimator) ObserveQueue(depth float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queue.Observe(depth)
+}
+
+// Latency returns the task-latency EWMA.
+func (e *Estimator) Latency() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.lat.Value() * float64(time.Second))
+}
+
+// Queue returns the queue-depth EWMA.
+func (e *Estimator) Queue() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queue.Value()
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed admits traffic; failures and latency are being watched.
+	Closed BreakerState = iota
+	// Open rejects traffic until the cooldown elapses.
+	Open
+	// HalfOpen admits exactly one probe to test whether the route
+	// recovered.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// Verdict is the breaker's answer to an admission request.
+type Verdict int
+
+const (
+	// Admit lets the route submit normally.
+	Admit Verdict = iota
+	// Probe asks the caller to run one cheap health probe and report
+	// the outcome via RecordProbe.
+	Probe
+	// Reject refuses the transit path for this step.
+	Reject
+)
+
+// BreakerConfig tunes one route's circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 3).
+	FailureThreshold int
+	// LatencyThreshold opens the breaker when the success-latency EWMA
+	// exceeds it (0 disables latency tripping).
+	LatencyThreshold time.Duration
+	// LatencyAlpha is the smoothing factor of the success-latency EWMA
+	// (default 0.5).
+	LatencyAlpha float64
+	// Cooldown is how long an open breaker waits before allowing a
+	// half-open probe (default 50ms).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.LatencyAlpha <= 0 || c.LatencyAlpha > 1 {
+		c.LatencyAlpha = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Breaker is a per-analysis-route circuit breaker. Task outcomes move
+// it out of Closed; only probe outcomes (RecordProbe) move it out of
+// Open/HalfOpen, so stale in-flight results cannot flip a recovering
+// route behind the prober's back.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	lat      EWMA
+	openedAt time.Time
+
+	transitions int64
+	opens       int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, lat: NewEWMA(cfg.LatencyAlpha)}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Transitions returns the total number of state changes.
+func (b *Breaker) Transitions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}
+
+// Opens returns how many times the breaker tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// Latency returns the success-latency EWMA.
+func (b *Breaker) Latency() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration(b.lat.Value() * float64(time.Second))
+}
+
+func (b *Breaker) toLocked(s BreakerState, now time.Time) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.transitions++
+	switch s {
+	case Open:
+		b.opens++
+		b.openedAt = now
+	case Closed:
+		b.fails = 0
+		// A fresh start: the latency EWMA accumulated during the
+		// brownout must not instantly re-trip the breaker.
+		b.lat.Reset()
+	}
+}
+
+// Allow answers an admission request at `now`: Admit while closed,
+// Reject while open inside the cooldown, Probe once the cooldown has
+// elapsed (transitioning to half-open) and on every half-open step
+// until a probe outcome arrives.
+func (b *Breaker) Allow(now time.Time) Verdict {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return Admit
+	case Open:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.toLocked(HalfOpen, now)
+			return Probe
+		}
+		return Reject
+	default: // HalfOpen
+		return Probe
+	}
+}
+
+// RecordSuccess folds one completed task's latency in. It only acts in
+// the Closed state: consecutive-failure tracking resets, and the
+// latency EWMA may trip the breaker open when it crosses the
+// threshold.
+func (b *Breaker) RecordSuccess(now time.Time, latency time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Closed {
+		return
+	}
+	b.fails = 0
+	b.lat.Observe(latency.Seconds())
+	if b.cfg.LatencyThreshold > 0 && b.lat.Value() > b.cfg.LatencyThreshold.Seconds() {
+		b.toLocked(Open, now)
+	}
+}
+
+// RecordFailure counts one failed task. It only acts in the Closed
+// state, opening the breaker at the consecutive-failure threshold.
+func (b *Breaker) RecordFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Closed {
+		return
+	}
+	b.fails++
+	if b.fails >= b.cfg.FailureThreshold {
+		b.toLocked(Open, now)
+	}
+}
+
+// RecordProbe reports a half-open probe's outcome: success closes the
+// breaker, failure re-opens it and restarts the cooldown.
+func (b *Breaker) RecordProbe(now time.Time, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != HalfOpen {
+		return
+	}
+	if ok {
+		b.toLocked(Closed, now)
+	} else {
+		b.toLocked(Open, now)
+	}
+}
+
+// Level is one rung of the admission ladder, ordered from full service
+// to full shedding.
+type Level int
+
+const (
+	// LevelFull runs the normal hybrid path.
+	LevelFull Level = iota
+	// LevelShaped runs the hybrid path with a reduced intermediate
+	// payload (coarser downsample) for analyses that support shaping.
+	LevelShaped
+	// LevelInSitu abandons the transit tier for the step and runs the
+	// analysis's in-situ fallback on the simulation ranks.
+	LevelInSitu
+	// LevelShed skips the analysis entirely for the step, storing only
+	// an explicit shed marker.
+	LevelShed
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelFull:
+		return "full"
+	case LevelShaped:
+		return "shaped"
+	case LevelInSitu:
+		return "in-situ"
+	case LevelShed:
+		return "shed"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Signals is one step's pressure snapshot for a route.
+type Signals struct {
+	// BreakerOpen reports the route's breaker is not closed.
+	BreakerOpen bool
+	// CreditsExhausted reports the route could not acquire a transit
+	// credit right now.
+	CreditsExhausted bool
+	// QueueDepth is the task-queue depth EWMA.
+	QueueDepth float64
+	// Latency is the in-transit task latency EWMA.
+	Latency time.Duration
+}
+
+// LadderConfig tunes the admission ladder's watermarks and hysteresis.
+// The high watermarks trigger degradation, the low watermarks permit
+// recovery; the band between them is the hysteresis dead zone where
+// the ladder holds its level.
+type LadderConfig struct {
+	// QueueHigh/QueueLow are the queue-depth EWMA watermarks
+	// (defaults 3 / 1).
+	QueueHigh, QueueLow float64
+	// LatencyHigh/LatencyLow are the latency EWMA watermarks
+	// (0 disables latency as a ladder signal).
+	LatencyHigh, LatencyLow time.Duration
+	// DegradeAfter is the consecutive overloaded observations needed
+	// to drop one rung (default 1: degrade immediately).
+	DegradeAfter int
+	// RecoverAfter is the consecutive healthy observations needed to
+	// climb one rung (default 2: recover cautiously).
+	RecoverAfter int
+}
+
+func (c LadderConfig) withDefaults() LadderConfig {
+	if c.QueueHigh <= 0 {
+		c.QueueHigh = 3
+	}
+	if c.QueueLow <= 0 || c.QueueLow > c.QueueHigh {
+		c.QueueLow = 1
+	}
+	if c.LatencyLow <= 0 || c.LatencyLow > c.LatencyHigh {
+		c.LatencyLow = c.LatencyHigh / 2
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 1
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 2
+	}
+	return c
+}
+
+// Ladder is one route's hysteretic admission policy.
+type Ladder struct {
+	cfg LadderConfig
+
+	mu    sync.Mutex
+	level Level
+	bad   int
+	good  int
+
+	drops  int64
+	climbs int64
+}
+
+// NewLadder returns a ladder at LevelFull.
+func NewLadder(cfg LadderConfig) *Ladder {
+	return &Ladder{cfg: cfg.withDefaults()}
+}
+
+// Level returns the current rung without advancing the hysteresis.
+func (l *Ladder) Level() Level {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.level
+}
+
+// Drops and Climbs return the total rung transitions in each
+// direction.
+func (l *Ladder) Drops() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.drops
+}
+
+// Climbs returns the total upward rung transitions.
+func (l *Ladder) Climbs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.climbs
+}
+
+// Observe folds one step's signals into the hysteresis and returns the
+// rung to use for the step. Overloaded observations push the ladder
+// down one rung per DegradeAfter streak; fully healthy observations
+// (all signals below the low watermarks) pull it up one rung per
+// RecoverAfter streak; observations inside the hysteresis band hold
+// the level and clear both streaks.
+func (l *Ladder) Observe(sig Signals) Level {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	overloaded := sig.BreakerOpen || sig.CreditsExhausted ||
+		sig.QueueDepth > l.cfg.QueueHigh ||
+		(l.cfg.LatencyHigh > 0 && sig.Latency > l.cfg.LatencyHigh)
+	healthy := !sig.BreakerOpen && !sig.CreditsExhausted &&
+		sig.QueueDepth <= l.cfg.QueueLow &&
+		(l.cfg.LatencyHigh <= 0 || sig.Latency <= l.cfg.LatencyLow)
+	switch {
+	case overloaded:
+		l.good = 0
+		l.bad++
+		if l.bad >= l.cfg.DegradeAfter {
+			l.bad = 0
+			if l.level < LevelShed {
+				l.level++
+				l.drops++
+			}
+		}
+	case healthy:
+		l.bad = 0
+		l.good++
+		if l.good >= l.cfg.RecoverAfter {
+			l.good = 0
+			if l.level > LevelFull {
+				l.level--
+				l.climbs++
+			}
+		}
+	default:
+		// Hysteresis band: hold.
+		l.bad, l.good = 0, 0
+	}
+	return l.level
+}
+
+// Config bundles the overload-control plane's tuning for core.Pipeline.
+type Config struct {
+	// Breaker tunes every route's circuit breaker.
+	Breaker BreakerConfig
+	// Ladder tunes every route's admission ladder.
+	Ladder LadderConfig
+	// QueueBound bounds the DataSpaces task-queue depth: submissions
+	// past it fail with ErrQueueFull and the step sheds (default 8).
+	QueueBound int
+	// Reserve is the per-hybrid-analysis credit reservation, so one
+	// slow analysis cannot starve the others (default 1).
+	Reserve int
+	// Credits overrides the total credit supply; 0 means
+	// buckets + QueueBound, the most work the transit tier can hold.
+	Credits int
+	// ProbeLatencyMax fails a half-open probe that answers slower than
+	// this even when it succeeds, so a browned-out (slow but alive)
+	// staging tier does not close the breaker (default 5ms).
+	ProbeLatencyMax time.Duration
+	// LatencyAlpha and QueueAlpha smooth the shared estimator
+	// (defaults 0.5 / 0.5).
+	LatencyAlpha, QueueAlpha float64
+}
+
+// DefaultConfig returns conservative overload-control tuning.
+func DefaultConfig() Config {
+	return Config{
+		Breaker: BreakerConfig{
+			FailureThreshold: 3,
+			LatencyThreshold: 50 * time.Millisecond,
+			Cooldown:         50 * time.Millisecond,
+		},
+		Ladder: LadderConfig{
+			QueueHigh: 3, QueueLow: 1,
+			LatencyHigh: 25 * time.Millisecond,
+			LatencyLow:  10 * time.Millisecond,
+			RecoverAfter: 2,
+		},
+		QueueBound:      8,
+		Reserve:         1,
+		ProbeLatencyMax: 5 * time.Millisecond,
+	}
+}
+
+// WithDefaults fills zero fields with the defaults used by
+// core.Pipeline.
+func (c Config) WithDefaults() Config {
+	if c.QueueBound <= 0 {
+		c.QueueBound = 8
+	}
+	if c.Reserve <= 0 {
+		c.Reserve = 1
+	}
+	if c.ProbeLatencyMax <= 0 {
+		c.ProbeLatencyMax = 5 * time.Millisecond
+	}
+	if c.LatencyAlpha <= 0 || c.LatencyAlpha > 1 {
+		c.LatencyAlpha = 0.5
+	}
+	if c.QueueAlpha <= 0 || c.QueueAlpha > 1 {
+		c.QueueAlpha = 0.5
+	}
+	return c
+}

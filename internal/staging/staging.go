@@ -318,6 +318,11 @@ func (a *Area) bucketLoop(id int) {
 		}
 		res, crashed := a.runTask(id, ep, kill, task)
 		if res != nil {
+			// This is the task's final result (requeues return nil), so
+			// settle its flow-control credit exactly once, before the
+			// result is visible to the drain: the producer must be able
+			// to re-acquire the credit for the next step it admits.
+			a.ds.FinishTask(res.Task)
 			a.mu.Lock()
 			a.busy[id]++
 			a.mu.Unlock()

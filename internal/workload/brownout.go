@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/faults"
+	"insitu/internal/grid"
+	"insitu/internal/netsim"
+	"insitu/internal/overload"
+	"insitu/internal/sim"
+)
+
+// The brownout scenario is the overload-control soak: a fixed-seed
+// slow-consumer schedule (a faults.SlowdownWindow collapsing every
+// transfer's bandwidth by BrownoutFactor for a window of the run)
+// drives the staging tier into sustained overload while the admission
+// ladder, the per-route circuit breakers, and the credit account keep
+// the simulation loop's per-step wall time bounded. After the window
+// closes the half-open probes re-close the breakers and the ladder
+// climbs back to full hybrid, rung by rung.
+//
+// All constants are exported so the soak test and the s3dpipe
+// -overload scenario run the identical configuration.
+const (
+	// BrownoutSteps is the length of the soak in simulation steps.
+	BrownoutSteps = 60
+	// BrownoutSeed fixes the injector PRNG (the schedule is pure
+	// window, but the seed pins the decision sequence regardless).
+	BrownoutSeed = 42
+	// BrownoutFrom/BrownoutUntil bound the slowdown window in
+	// decision-index space: roughly four healthy steps' worth of pulls
+	// run first, then the window stays open until backlog pulls and
+	// failed half-open probes have consumed it.
+	BrownoutFrom  = 16
+	BrownoutUntil = 40
+	// BrownoutFactor multiplies every covered transfer's modeled
+	// duration — a ~400x bandwidth collapse, the "slow consumer".
+	BrownoutFactor = 400
+	// BrownoutTimeScale converts modeled durations into real sleeps so
+	// the collapse manifests as wall-clock staging latency the breaker
+	// and estimator can observe.
+	BrownoutTimeScale = 0.1
+)
+
+// NewBrownoutPipeline builds the brownout pipeline: a 2-rank
+// simulation with the two hybrid routes (visualization, which shapes;
+// statistics, which does not) over a 2-bucket staging tier with
+// overload control enabled. With brownout=false it returns the
+// unloaded twin — the identical pipeline without the fault schedule —
+// whose per-step wall times are the soak's baseline.
+//
+// The second return value lists the hybrid route names.
+func NewBrownoutPipeline(brownout bool) (*core.Pipeline, []string, error) {
+	simCfg := sim.DefaultConfig(grid.NewBox(24, 16, 8), 2, 1, 1)
+	simCfg.SubSteps = 4
+
+	net := netsim.Gemini()
+	net.TimeScale = BrownoutTimeScale
+
+	cfg := core.Config{
+		Sim:       simCfg,
+		DSServers: 2,
+		Buckets:   2,
+		Net:       net,
+		// A generous per-task data-movement deadline: browned-out pulls
+		// are slow, not lost, and must still drain the backlog.
+		StepBudget: 500 * time.Millisecond,
+		Overload: &overload.Config{
+			Breaker: overload.BreakerConfig{
+				FailureThreshold: 3,
+				// Two browned-out task completions push the success-latency
+				// EWMA over the threshold and trip the route open.
+				LatencyThreshold: 5 * time.Millisecond,
+				LatencyAlpha:     0.5,
+				// Short cooldown relative to the step cadence, so the
+				// half-open probe runs nearly every step while open.
+				Cooldown: 2 * time.Millisecond,
+			},
+			Ladder: overload.LadderConfig{
+				QueueHigh: 3, QueueLow: 1,
+				// Latency watermarks stay disabled: the latency EWMA only
+				// moves when tasks complete, so a shedding route would pin
+				// it high and never observe recovery. Breaker state,
+				// credit availability and queue depth are live signals.
+				DegradeAfter: 1, RecoverAfter: 2,
+			},
+			QueueBound: 4,
+			// The probe verdict compares the *modeled* probe duration:
+			// healthy ~1.5us, browned-out ~400x that. 50us separates them
+			// deterministically, independent of scheduler noise.
+			ProbeLatencyMax: 50 * time.Microsecond,
+		},
+	}
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if brownout {
+		p.Network().SetFaults(faults.New(faults.Config{
+			Seed: BrownoutSeed,
+			Slowdowns: []faults.SlowdownWindow{
+				{From: BrownoutFrom, Until: BrownoutUntil, Factor: BrownoutFactor},
+			},
+		}))
+	}
+
+	viz := core.NewVizHybrid(20, 16, 2)
+	stats := &core.StatsHybrid{Vars: []string{"T", "P"}}
+	p.Register(viz)
+	p.Register(stats)
+	return p, []string{viz.Name(), stats.Name()}, nil
+}

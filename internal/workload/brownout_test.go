@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/overload"
+)
+
+// TestBrownoutSoak is the overload-control acceptance soak: a seeded
+// slow-consumer window collapses staging bandwidth mid-run, and the
+// control plane must (1) keep every simulation step's wall time within
+// 2x the unloaded baseline, (2) mark every shaped and shed step with a
+// ladder reason, (3) trip each route's breaker open and re-close it
+// through the half-open probe, (4) return to full hybrid before the
+// run ends, and (5) leak neither credits nor pinned regions.
+func TestBrownoutSoak(t *testing.T) {
+	// Unloaded twin first: its slowest step is the baseline.
+	base, routes, err := NewBrownoutPipeline(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRep, err := base.Run(BrownoutSteps)
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	baseline := baseRep.Metrics.MaxStepWall()
+	if baseline <= 0 {
+		t.Fatal("baseline recorded no step wall times")
+	}
+
+	p, _, err := NewBrownoutPipeline(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(BrownoutSteps)
+	if err != nil {
+		t.Fatalf("brownout run failed: %v", err)
+	}
+
+	// (1) Bounded per-step simulation wall time. The floor absorbs
+	// scheduler noise on loaded CI machines; the real bound is 2x.
+	bound := 2 * baseline
+	if floor := baseline + 25*time.Millisecond; bound < floor {
+		bound = floor
+	}
+	worst := rep.Metrics.MaxStepWall()
+	t.Logf("step wall: baseline max %v, brownout max %v (bound %v)", baseline, worst, bound)
+	if worst > bound {
+		for s, d := range rep.Metrics.StepWalls() {
+			if d > bound {
+				t.Errorf("step %d wall %v exceeds bound %v", s, d, bound)
+			}
+		}
+		t.Fatalf("simulation blocked: worst step wall %v > %v", worst, bound)
+	}
+
+	// (2) Every step of every route accounted for, with markers naming
+	// the ladder rung on anything that was not full hybrid.
+	o := rep.Overload
+	t.Logf("overload: %+v", o)
+	t.Logf("resilience: %+v", rep.Resilience)
+	degradedTail := 0
+	for _, name := range routes {
+		for step := 1; step <= BrownoutSteps; step++ {
+			out := rep.Result(name, step)
+			if out == nil {
+				t.Fatalf("%s step %d has no stored result", name, step)
+			}
+			if d, ok := out.(core.Degraded); ok {
+				if d.Reason == "" {
+					t.Fatalf("%s step %d degraded without a reason", name, step)
+				}
+				if step > BrownoutSteps-5 {
+					degradedTail++
+					t.Errorf("%s step %d still degraded at run end: %s", name, step, d.Reason)
+				}
+			}
+		}
+	}
+	// (4) Full recovery: the final steps run full hybrid on every route.
+	if degradedTail > 0 {
+		t.Fatalf("%d route-steps in the final 5 steps still degraded", degradedTail)
+	}
+
+	// (3) Graded degradation happened and was counted: the ladder
+	// shaped before it shed, and the breakers tripped and re-closed.
+	if o.StepsShaped < 1 {
+		t.Error("no steps were shaped")
+	}
+	if o.StepsShed < 1 {
+		t.Error("no steps were shed")
+	}
+	if o.BreakerOpens < 1 {
+		t.Error("no breaker ever opened")
+	}
+	// closed->open->half-open->closed is 3 transitions minimum.
+	if o.BreakerTransitions < 3 {
+		t.Errorf("breaker transitions %d: no half-open probe cycle", o.BreakerTransitions)
+	}
+	for name, st := range p.BreakerStates() {
+		if st != overload.Closed {
+			t.Errorf("route %q breaker finished %v, want closed", name, st)
+		}
+	}
+	// Shed markers carry the ladder reason.
+	shedMarked := 0
+	for _, name := range routes {
+		for step := 1; step <= BrownoutSteps; step++ {
+			if d, ok := rep.Result(name, step).(core.Degraded); ok &&
+				strings.HasPrefix(d.Reason, "shed") {
+				shedMarked++
+			}
+		}
+	}
+	if int64(shedMarked) != o.StepsShed {
+		t.Errorf("shed markers %d != StepsShed %d", shedMarked, o.StepsShed)
+	}
+
+	// (5) Nothing leaked: the credit account drains to its full supply
+	// and no producer region stays pinned.
+	c := p.Credits()
+	if c.Outstanding() != 0 || c.Available() != c.Total() {
+		t.Errorf("credits leaked: outstanding=%d avail=%d total=%d",
+			c.Outstanding(), c.Available(), c.Total())
+	}
+	if got := p.PinnedRegions(); got != 0 {
+		t.Errorf("%d pinned regions leaked", got)
+	}
+}
