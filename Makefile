@@ -9,15 +9,29 @@
 #   make brownout   race-enabled overload soak: fixed-seed slow-consumer
 #                   brownout proving bounded step wall time, graded
 #                   shaping/shedding, breaker recovery, zero credit leaks
+#   make fmt        gofmt gate: fails if any file needs reformatting
+#   make obs-check  end-to-end observability gate: builds s3dpipe, runs it
+#                   with the live endpoint, and validates /metrics,
+#                   /trace.json, /events.jsonl (submit/done reconciliation),
+#                   and /debug/pprof via cmd/obscheck
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par chaos brownout
+.PHONY: tier1 vet build test race bench bench-par chaos brownout fmt obs-check
 
-tier1: vet build test race
+tier1: fmt vet build test race
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+obs-check:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/s3dpipe" ./cmd/s3dpipe && \
+	$(GO) run ./cmd/obscheck -bin "$$tmp/s3dpipe"
 
 build:
 	$(GO) build ./...

@@ -11,12 +11,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"insitu/internal/core"
 	"insitu/internal/grid"
 	"insitu/internal/netsim"
+	"insitu/internal/obs"
 	"insitu/internal/render"
 	"insitu/internal/sim"
 	"insitu/internal/trace"
@@ -47,11 +52,14 @@ func main() {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		timeline   = flag.Bool("timeline", false, "print the execution Gantt chart (temporal multiplexing)")
 		overload   = flag.Bool("overload", false, "run the fixed-seed staging-brownout scenario and print the overload/resilience summary")
+		obsAddr    = flag.String("obs", "", "serve the live observability endpoint (/metrics, /trace.json, /events.jsonl, /status, /debug/pprof) on this address, e.g. :6060")
+		obsDump    = flag.String("obs-dump", "", "directory to write trace.json, events.jsonl, and metrics.prom to after the run")
+		hold       = flag.Bool("hold", false, "with -obs: keep serving after the run until SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
 	if *overload {
-		runBrownout()
+		runBrownout(*obsAddr, *obsDump, *hold)
 		return
 	}
 
@@ -131,6 +139,7 @@ func main() {
 	if *timeline {
 		tl = p.EnableTrace()
 	}
+	pl, stop := setupObs(p, *obsAddr, *obsDump)
 
 	fmt.Printf("s3dpipe: grid %dx%dx%d, %d simulation ranks, %d DataSpaces shards, %d buckets, %d steps\n\n",
 		*nx, *ny, *nz, (*px)*(*py)*(*pz), *servers, *buckets, *steps)
@@ -138,6 +147,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	defer finishObs(pl, stop, *obsDump, *hold && *obsAddr != "")
 
 	if tl != nil {
 		fmt.Println(tl.Gantt(100))
@@ -187,17 +197,19 @@ func main() {
 // configuration the TestBrownoutSoak acceptance soak uses) and prints
 // the overload-control summary: what was shaped, shed, or run in-situ,
 // how the breakers cycled, and when each route recovered full hybrid.
-func runBrownout() {
+func runBrownout(obsAddr, obsDump string, hold bool) {
 	fmt.Printf("s3dpipe: staging brownout, %d steps, slowdown x%d over decisions [%d,%d), seed %d\n\n",
 		workload.BrownoutSteps, workload.BrownoutFactor, workload.BrownoutFrom, workload.BrownoutUntil, workload.BrownoutSeed)
 	p, routes, err := workload.NewBrownoutPipeline(true)
 	if err != nil {
 		fail(err)
 	}
+	pl, stop := setupObs(p, obsAddr, obsDump)
 	rep, err := p.Run(workload.BrownoutSteps)
 	if err != nil {
 		fail(err)
 	}
+	defer finishObs(pl, stop, obsDump, hold && obsAddr != "")
 
 	o := rep.Overload
 	fmt.Println("overload control:")
@@ -237,6 +249,70 @@ func runBrownout() {
 	fmt.Printf("  credits drained: %d/%d available, %d outstanding\n",
 		c.Available(), c.Total(), c.Outstanding())
 	fmt.Printf("  worst step wall: %v\n", rep.Metrics.MaxStepWall().Round(1e3))
+}
+
+// setupObs enables the observability plane when -obs or -obs-dump was
+// given and, for -obs, starts the live HTTP endpoint. It returns the
+// plane (nil when observability is off) and a server stop function
+// (nil when no endpoint was started).
+func setupObs(p *core.Pipeline, addr, dump string) (*obs.Plane, func()) {
+	if addr == "" && dump == "" {
+		return nil, nil
+	}
+	pl := p.EnableObs()
+	if addr == "" {
+		return pl, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: obs.Handler(pl, func() any { return p.Status() })}
+	go srv.Serve(ln)
+	fmt.Printf("observability endpoint on http://%s/\n\n", ln.Addr())
+	return pl, func() { srv.Close() }
+}
+
+// finishObs writes the post-run export files, optionally holds the
+// live endpoint open until SIGINT/SIGTERM, and shuts the server down.
+func finishObs(pl *obs.Plane, stop func(), dump string, hold bool) {
+	if pl != nil && dump != "" {
+		dumpObs(dump, pl)
+	}
+	if hold {
+		fmt.Println("holding observability endpoint open; SIGINT/SIGTERM to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+		<-ch
+	}
+	if stop != nil {
+		stop()
+	}
+}
+
+// dumpObs writes trace.json, events.jsonl, and metrics.prom under dir.
+func dumpObs(dir string, pl *obs.Plane) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	write := func(name string, render func(*os.File) error) {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write("trace.json", func(f *os.File) error { return obs.WriteChromeTrace(f, pl.Recorder()) })
+	write("events.jsonl", func(f *os.File) error { return obs.WriteJSONL(f, pl.Recorder()) })
+	write("metrics.prom", func(f *os.File) error { return pl.Registry().WritePrometheus(f) })
 }
 
 // lastDue returns the last step at which a cadence-every analysis ran.

@@ -12,6 +12,7 @@ import (
 	"insitu/internal/dataspaces"
 	"insitu/internal/metrics"
 	"insitu/internal/netsim"
+	"insitu/internal/obs"
 	"insitu/internal/overload"
 	"insitu/internal/sim"
 	"insitu/internal/staging"
@@ -76,6 +77,11 @@ type Pipeline struct {
 	eps     map[int]*dart.Endpoint // endpoint id -> endpoint (for release)
 	ran     bool
 	tl      *trace.Timeline
+
+	// Observability plane (nil until EnableObs/EnableTrace). admitCtr
+	// holds the pre-resolved admission counters, one per ladder level.
+	plane    *obs.Plane
+	admitCtr map[overload.Level]*obs.Counter
 
 	// Drain accounting: the queue closes once the simulation has
 	// finished AND every successfully submitted task has produced its
@@ -175,15 +181,134 @@ func (p *Pipeline) Network() *netsim.Network { return p.net }
 
 // EnableTrace attaches an execution timeline: simulation steps and
 // per-bucket in-transit tasks are recorded as spans, so the temporal
-// multiplexing can be rendered as a Gantt chart after the run. Call
-// before Run.
+// multiplexing can be rendered as a Gantt chart after the run. It is a
+// legacy view over the full observability plane — EnableTrace enables
+// EnableObs and returns the plane's timeline. Call before Run.
 func (p *Pipeline) EnableTrace() *trace.Timeline {
+	p.EnableObs()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.tl == nil {
-		p.tl = trace.New()
-	}
 	return p.tl
+}
+
+// EnableObs attaches the observability plane: one span recorder shared
+// by the legacy timeline, the DART transport, the task lifecycle, and
+// the admission plane, plus a metrics registry every subsystem
+// publishes into. Idempotent; call before Run. The returned plane's
+// exporters (Chrome trace, JSONL, Prometheus text) and the obs.Handler
+// HTTP endpoint render it live or after the run.
+func (p *Pipeline) EnableObs() *obs.Plane {
+	p.mu.Lock()
+	if p.plane != nil {
+		pl := p.plane
+		p.mu.Unlock()
+		return pl
+	}
+	pl := obs.NewPlane()
+	p.plane = pl
+	p.tl = trace.Over(pl.Recorder())
+	p.mu.Unlock()
+
+	// Registration happens outside p.mu: several of the functions below
+	// take p.mu when sampled, so holding it here would invert the lock
+	// order against a concurrent scrape.
+	p.fabric.SetPlane(pl)
+	p.ds.SetPlane(pl)
+	p.area.SetPlane(pl)
+	reg := pl.Registry()
+	p.col.PublishTo(reg)
+	// Admission counters are registered for every ladder level up front
+	// — even runs without overload control expose the same families.
+	admitCtr := make(map[overload.Level]*obs.Counter, 4)
+	for _, lv := range []overload.Level{overload.LevelFull, overload.LevelShaped, overload.LevelInSitu, overload.LevelShed} {
+		admitCtr[lv] = reg.Counter("admission_decisions_total",
+			"admission ladder verdicts by level", obs.Str("level", lv.String()))
+	}
+	p.mu.Lock()
+	p.admitCtr = admitCtr
+	p.mu.Unlock()
+	reg.CounterFunc("net_transfers_total", "transfers accounted on the simulated interconnect",
+		func() float64 { return float64(p.net.Stats().Transfers) })
+	reg.CounterFunc("net_bytes_moved_total", "bytes moved over the simulated interconnect",
+		func() float64 { return float64(p.net.Stats().BytesMoved) })
+	reg.CounterFunc("net_faults_total", "transfer attempts perturbed by the fault injector",
+		func() float64 { return float64(p.net.Stats().Faulted) })
+	reg.CounterFunc("breaker_opens_total", "circuit-breaker trips across hybrid routes",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			var n int64
+			for _, rs := range p.routes {
+				n += rs.breaker.Opens()
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("breaker_transitions_total", "circuit-breaker state transitions across hybrid routes",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			var n int64
+			for _, rs := range p.routes {
+				n += rs.breaker.Transitions()
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("pipeline_tasks_submitted_total", "in-transit tasks successfully submitted",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(p.submitted)
+		})
+	reg.CounterFunc("pipeline_tasks_completed_total", "in-transit tasks drained to a final result",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(p.completed)
+		})
+	return pl
+}
+
+// Obs returns the observability plane, or nil if EnableObs was not
+// called.
+func (p *Pipeline) Obs() *obs.Plane {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.plane
+}
+
+// Status snapshots the pipeline's live state for the /status endpoint:
+// drain accounting, queue and bucket occupancy, breaker positions,
+// the credit account, and the resilience counters. Safe to call from
+// any goroutine while Run is in flight.
+func (p *Pipeline) Status() map[string]any {
+	p.mu.Lock()
+	submitted, completed, simDone := p.submitted, p.completed, p.simDone
+	p.mu.Unlock()
+	st := map[string]any{
+		"submitted":    submitted,
+		"completed":    completed,
+		"sim_done":     simDone,
+		"done":         simDone && submitted == completed,
+		"queue_depth":  p.ds.QueueDepth(),
+		"free_buckets": p.ds.FreeBuckets(),
+		"resilience":   p.resilience(),
+	}
+	if br := p.BreakerStates(); len(br) > 0 {
+		m := make(map[string]string, len(br))
+		for name, s := range br {
+			m[name] = s.String()
+		}
+		st["breakers"] = m
+	}
+	if c := p.ds.Credits(); c != nil {
+		st["credits"] = map[string]any{
+			"total":       c.Total(),
+			"available":   c.Available(),
+			"outstanding": c.Outstanding(),
+			"denied":      c.Denied(),
+		}
+	}
+	return st
 }
 
 // PinnedRegions returns the number of intermediate-data regions still
@@ -278,10 +403,14 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 		for _, a := range p.analyses {
 			if _, ok := a.(hybridStage); ok {
 				reservations[a.Name()] = p.ov.Reserve
+				// Route insertion is p.mu-guarded because scrape-time
+				// metric functions iterate p.routes concurrently.
+				p.mu.Lock()
 				p.routes[a.Name()] = &routeState{
 					breaker: overload.NewBreaker(p.ov.Breaker),
 					ladder:  overload.NewLadder(p.ov.Ladder),
 				}
+				p.mu.Unlock()
 			}
 		}
 		total := p.ov.Credits
@@ -461,12 +590,39 @@ func (p *Pipeline) observeResult(res staging.Result) {
 	p.markBreaker(res.Task.Analysis, prev, rs.breaker.State(), res.Task.Step)
 }
 
-// markBreaker drops a trace mark when a route's breaker moved.
+// markBreaker records a route's breaker transition on the trace and,
+// when the plane is attached, as an admission-category event.
 func (p *Pipeline) markBreaker(name string, prev, cur overload.BreakerState, step int) {
-	if p.tl == nil || prev == cur {
+	if prev == cur {
 		return
 	}
-	p.tl.Mark("overload", fmt.Sprintf("%s breaker %s→%s@%d", name, prev, cur, step), time.Now())
+	if p.tl != nil {
+		p.tl.Mark("overload", fmt.Sprintf("%s breaker %s→%s@%d", name, prev, cur, step), time.Now())
+	}
+	if p.plane != nil {
+		p.plane.Recorder().Event(0, obs.CatAdmit, "overload", "breaker.transition", time.Now(),
+			obs.Str("analysis", name),
+			obs.Str("from", prev.String()),
+			obs.Str("to", cur.String()),
+			obs.Int("step", step))
+	}
+}
+
+// observeAdmit records one admission verdict: the per-level counter
+// plus an admission event carrying the ladder's reasoning.
+func (p *Pipeline) observeAdmit(step int, d admitDecision) {
+	if p.plane == nil {
+		return
+	}
+	if c := p.admitCtr[d.Level]; c != nil {
+		c.Inc()
+	}
+	p.plane.Recorder().Event(0, obs.CatAdmit, "overload", "admit", time.Now(),
+		obs.Str("analysis", d.Name),
+		obs.Str("level", d.Level.String()),
+		obs.Int("step", step),
+		obs.Bool("credited", d.Credited),
+		obs.Str("reason", d.Reason))
 }
 
 // probeRoute runs the half-open health probe: a tiny Get against the
@@ -540,7 +696,9 @@ func (p *Pipeline) admitStep(ep *dart.Endpoint, step int) []admitDecision {
 			p.tl.Mark("overload", fmt.Sprintf("%s ladder %s→%s@%d", name, rs.lastLevel, level, step), time.Now())
 		}
 		rs.lastLevel = level
-		out = append(out, admitDecision{Name: name, Level: level, Reason: reason, Credited: credited})
+		d := admitDecision{Name: name, Level: level, Reason: reason, Credited: credited}
+		p.observeAdmit(step, d)
+		out = append(out, d)
 	}
 	return out
 }
@@ -552,6 +710,8 @@ func (p *Pipeline) Credits() *dataspaces.Credits { return p.ds.Credits() }
 // BreakerStates returns each hybrid route's current breaker position
 // (empty unless overload control is enabled).
 func (p *Pipeline) BreakerStates() map[string]overload.BreakerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make(map[string]overload.BreakerState, len(p.routes))
 	for name, rs := range p.routes {
 		out[name] = rs.breaker.State()

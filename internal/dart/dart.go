@@ -31,6 +31,7 @@ import (
 
 	"insitu/internal/bufpool"
 	"insitu/internal/netsim"
+	"insitu/internal/obs"
 )
 
 // Typed transport errors. Transfer-layer faults from netsim
@@ -171,6 +172,91 @@ type Fabric struct {
 	retries   atomic.Int64
 	crcFails  atomic.Int64
 	deadlines atomic.Int64
+
+	obs atomic.Pointer[fabricObs]
+}
+
+// fabricObs holds the fabric's observability wiring: the plane plus
+// pre-resolved instrument handles, so the per-operation hot path does
+// one atomic load and no registry lookups.
+type fabricObs struct {
+	plane   *obs.Plane
+	getOK   *obs.Counter
+	getErr  *obs.Counter
+	putOK   *obs.Counter
+	putErr  *obs.Counter
+	getByte *obs.Counter
+	putByte *obs.Counter
+	modeled *obs.Histogram
+}
+
+// SetPlane attaches the observability plane: every Get/Put records a
+// span in the transport category (attrs: region, bytes, attempts,
+// modeled duration, error), every retry records an event, and the
+// fabric's counters are published as live metric series. Call before
+// traffic starts; a nil plane is ignored.
+func (f *Fabric) SetPlane(pl *obs.Plane) {
+	if pl == nil {
+		return
+	}
+	reg := pl.Registry()
+	fo := &fabricObs{
+		plane:   pl,
+		getOK:   reg.Counter("dart_gets_total", "completed one-sided reads by result", obs.Str("result", "ok")),
+		getErr:  reg.Counter("dart_gets_total", "completed one-sided reads by result", obs.Str("result", "error")),
+		putOK:   reg.Counter("dart_puts_total", "completed one-sided writes by result", obs.Str("result", "ok")),
+		putErr:  reg.Counter("dart_puts_total", "completed one-sided writes by result", obs.Str("result", "error")),
+		getByte: reg.Counter("dart_transfer_bytes_total", "payload bytes moved by one-sided transfers", obs.Str("op", "get")),
+		putByte: reg.Counter("dart_transfer_bytes_total", "payload bytes moved by one-sided transfers", obs.Str("op", "put")),
+		modeled: reg.Histogram("dart_transfer_modeled_seconds",
+			"modeled transfer duration of successful Get/Put operations", obs.LatencyBuckets),
+	}
+	reg.CounterFunc("dart_retries_total", "retried Get/Put attempts",
+		func() float64 { return float64(f.retries.Load()) })
+	reg.CounterFunc("dart_checksum_failures_total", "corrupted payloads caught by CRC32 verification",
+		func() float64 { return float64(f.crcFails.Load()) })
+	reg.CounterFunc("dart_deadline_exceeded_total", "operations abandoned at their caller deadline",
+		func() float64 { return float64(f.deadlines.Load()) })
+	f.obs.Store(fo)
+}
+
+// observeOp records one finished Get/Put: a span on the calling
+// endpoint's lane plus the operation counters.
+func (f *Fabric) observeOp(op string, ep *Endpoint, h MemHandle, start time.Time, modeled time.Duration, attempts, bytes int, err error) {
+	fo := f.obs.Load()
+	if fo == nil {
+		return
+	}
+	fo.plane.Recorder().Record(0, obs.CatDart, ep.name, "dart."+op, start, time.Now(),
+		obs.Str("region", fmt.Sprintf("%d/%d", h.Endpoint, h.Region)),
+		obs.Int("bytes", bytes),
+		obs.Int("attempts", attempts),
+		obs.Dur("modeled", modeled),
+		obs.Error(err))
+	var okC, errC, byteC *obs.Counter
+	if op == "get" {
+		okC, errC, byteC = fo.getOK, fo.getErr, fo.getByte
+	} else {
+		okC, errC, byteC = fo.putOK, fo.putErr, fo.putByte
+	}
+	if err != nil {
+		errC.Inc()
+		return
+	}
+	okC.Inc()
+	byteC.Add(int64(bytes))
+	fo.modeled.Observe(modeled.Seconds())
+}
+
+// observeRetry records one retry as an instantaneous event on the
+// calling endpoint's lane.
+func (f *Fabric) observeRetry(op string, ep *Endpoint, attempt int, cause error) {
+	fo := f.obs.Load()
+	if fo == nil {
+		return
+	}
+	fo.plane.Recorder().Event(0, obs.CatDart, ep.name, "dart.retry", time.Now(),
+		obs.Str("op", op), obs.Int("attempt", attempt), obs.Error(cause))
 }
 
 // NewFabric creates a transport fabric over the given network with the
@@ -403,31 +489,41 @@ func (ep *Endpoint) Get(h MemHandle) ([]byte, time.Duration, error) {
 // ErrDeadline, once the deadline has passed or would be overshot by
 // the next backoff. A zero deadline means no deadline.
 func (ep *Endpoint) GetDeadline(h MemHandle, deadline time.Time) ([]byte, time.Duration, error) {
+	start := time.Now()
+	data, total, attempts, err := ep.getDeadline(h, deadline)
+	ep.f.observeOp("get", ep, h, start, total, attempts, len(data), err)
+	return data, total, err
+}
+
+// getDeadline is the retry loop behind GetDeadline; it additionally
+// reports how many attempts ran, for the observability span.
+func (ep *Endpoint) getDeadline(h MemHandle, deadline time.Time) ([]byte, time.Duration, int, error) {
 	pol := ep.f.RetryPolicy()
 	var total time.Duration
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			ep.f.deadlines.Add(1)
-			return nil, total, deadlineErr("get", h, lastErr)
+			return nil, total, attempt, deadlineErr("get", h, lastErr)
 		}
 		data, d, err := ep.getOnce(h)
 		total += d
 		if err == nil {
-			return data, total, nil
+			return data, total, attempt, nil
 		}
 		lastErr = err
 		if !Retriable(err) {
-			return nil, total, err
+			return nil, total, attempt, err
 		}
 		if attempt >= max(pol.MaxAttempts, 1) {
-			return nil, total, fmt.Errorf("dart: get %+v failed after %d attempts: %w", h, attempt, err)
+			return nil, total, attempt, fmt.Errorf("dart: get %+v failed after %d attempts: %w", h, attempt, err)
 		}
 		ep.f.retries.Add(1)
+		ep.f.observeRetry("get", ep, attempt, err)
 		back := pol.backoff(attempt, ep.f.jitter)
 		if !deadline.IsZero() && time.Now().Add(back).After(deadline) {
 			ep.f.deadlines.Add(1)
-			return nil, total, deadlineErr("get", h, lastErr)
+			return nil, total, attempt, deadlineErr("get", h, lastErr)
 		}
 		time.Sleep(back)
 	}
@@ -509,31 +605,41 @@ func (ep *Endpoint) Put(h MemHandle, data []byte) (time.Duration, error) {
 
 // PutDeadline is Put under a caller deadline.
 func (ep *Endpoint) PutDeadline(h MemHandle, data []byte, deadline time.Time) (time.Duration, error) {
+	start := time.Now()
+	total, attempts, err := ep.putDeadline(h, data, deadline)
+	ep.f.observeOp("put", ep, h, start, total, attempts, len(data), err)
+	return total, err
+}
+
+// putDeadline is the retry loop behind PutDeadline; it additionally
+// reports how many attempts ran, for the observability span.
+func (ep *Endpoint) putDeadline(h MemHandle, data []byte, deadline time.Time) (time.Duration, int, error) {
 	pol := ep.f.RetryPolicy()
 	var total time.Duration
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			ep.f.deadlines.Add(1)
-			return total, deadlineErr("put", h, lastErr)
+			return total, attempt, deadlineErr("put", h, lastErr)
 		}
 		d, err := ep.putOnce(h, data)
 		total += d
 		if err == nil {
-			return total, nil
+			return total, attempt, nil
 		}
 		lastErr = err
 		if !Retriable(err) {
-			return total, err
+			return total, attempt, err
 		}
 		if attempt >= max(pol.MaxAttempts, 1) {
-			return total, fmt.Errorf("dart: put %+v failed after %d attempts: %w", h, attempt, err)
+			return total, attempt, fmt.Errorf("dart: put %+v failed after %d attempts: %w", h, attempt, err)
 		}
 		ep.f.retries.Add(1)
+		ep.f.observeRetry("put", ep, attempt, err)
 		back := pol.backoff(attempt, ep.f.jitter)
 		if !deadline.IsZero() && time.Now().Add(back).After(deadline) {
 			ep.f.deadlines.Add(1)
-			return total, deadlineErr("put", h, lastErr)
+			return total, attempt, deadlineErr("put", h, lastErr)
 		}
 		time.Sleep(back)
 	}

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insitu/internal/dart"
 	"insitu/internal/grid"
+	"insitu/internal/obs"
 )
 
 // Descriptor names one RDMA-enabled data block produced by an in-situ
@@ -101,6 +103,8 @@ type Service struct {
 
 	assigned int64 // tasks handed to buckets
 	requeues int64 // failed tasks pushed back for another attempt
+
+	plane atomic.Pointer[obs.Plane]
 }
 
 // New creates a service with the given number of index servers
@@ -115,6 +119,84 @@ func New(fabric *dart.Fabric, servers int) (*Service, error) {
 		s.servers[i] = &server{index: make(map[key][]Descriptor)}
 	}
 	return s, nil
+}
+
+// SetPlane attaches the observability plane: task submissions and
+// requeues record lifecycle events on the "queue" lane, and the
+// service's live state — queue depth, free buckets, assignment and
+// requeue totals, and the credit account — is published as metric
+// series sampled at scrape time. The credit series are registered even
+// when credits are disabled (they read zero), so every run exposes the
+// same metric families. A nil plane is ignored.
+func (s *Service) SetPlane(pl *obs.Plane) {
+	if pl == nil {
+		return
+	}
+	reg := pl.Registry()
+	reg.GaugeFunc("dataspaces_queue_depth", "tasks waiting for a bucket",
+		func() float64 { return float64(s.QueueDepth()) })
+	reg.GaugeFunc("dataspaces_free_buckets", "buckets waiting for a task",
+		func() float64 { return float64(s.FreeBuckets()) })
+	reg.CounterFunc("dataspaces_assigned_total", "tasks handed to buckets",
+		func() float64 { return float64(s.Assigned()) })
+	reg.CounterFunc("dataspaces_requeues_total", "failed tasks pushed back for another attempt",
+		func() float64 { return float64(s.Requeues()) })
+	reg.GaugeFunc("credits_total", "fixed flow-control credit supply (0 when credits are disabled)",
+		func() float64 {
+			if c := s.Credits(); c != nil {
+				return float64(c.Total())
+			}
+			return 0
+		})
+	reg.GaugeFunc("credits_available", "flow-control credits currently grantable",
+		func() float64 {
+			if c := s.Credits(); c != nil {
+				return float64(c.Available())
+			}
+			return 0
+		})
+	reg.GaugeFunc("credits_outstanding", "flow-control credits held by producers",
+		func() float64 {
+			if c := s.Credits(); c != nil {
+				return float64(c.Outstanding())
+			}
+			return 0
+		})
+	reg.CounterFunc("credits_denied_total", "credit acquisitions refused at saturation",
+		func() float64 {
+			if c := s.Credits(); c != nil {
+				return float64(c.Denied())
+			}
+			return 0
+		})
+	s.plane.Store(pl)
+}
+
+// observeSubmit records a task.submit lifecycle event; the JSONL
+// reconciliation invariant pairs it with exactly one task.done from the
+// staging tier.
+func (s *Service) observeSubmit(t Task) {
+	pl := s.plane.Load()
+	if pl == nil {
+		return
+	}
+	pl.Recorder().Event(0, obs.CatTask, "queue", "task.submit", time.Now(),
+		obs.Int64("task", t.ID),
+		obs.Str("analysis", t.Analysis),
+		obs.Int("step", t.Step),
+		obs.Int("shaped", t.Shaped),
+		obs.Bool("credited", t.Credited))
+}
+
+// observeRequeue records a task.requeue lifecycle event.
+func (s *Service) observeRequeue(t Task) {
+	pl := s.plane.Load()
+	if pl == nil {
+		return
+	}
+	pl.Recorder().Event(0, obs.CatTask, "queue", "task.requeue", time.Now(),
+		obs.Int64("task", t.ID),
+		obs.Int("attempt", t.Attempts))
 }
 
 // ErrClosed is returned by blocking operations after Close.
@@ -286,11 +368,13 @@ func (s *Service) SubmitSpec(spec TaskSpec) (int64, error) {
 		s.waiting = s.waiting[1:]
 		s.assigned++
 		s.mu.Unlock()
+		s.observeSubmit(t)
 		ch <- t
 		return t.ID, nil
 	}
 	s.queue = append(s.queue, t)
 	s.mu.Unlock()
+	s.observeSubmit(t)
 	return t.ID, nil
 }
 
@@ -313,11 +397,13 @@ func (s *Service) Requeue(t Task) error {
 		s.waiting = s.waiting[1:]
 		s.assigned++
 		s.mu.Unlock()
+		s.observeRequeue(t)
 		ch <- t
 		return nil
 	}
 	s.queue = append([]Task{t}, s.queue...)
 	s.mu.Unlock()
+	s.observeRequeue(t)
 	return nil
 }
 

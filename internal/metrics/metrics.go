@@ -1,8 +1,16 @@
-// Package metrics collects the per-step timing breakdown the paper's
-// evaluation reports: simulation time, per-analysis in-situ time, data
-// movement time and size, and in-transit time (Table II and Fig. 6).
+// Package metrics collects a pipeline run's quantitative story: the
+// per-step timing breakdown the paper's evaluation reports (simulation
+// time, per-analysis in-situ time, data movement time and size, and
+// in-transit time — Table II and Fig. 6), plus the resilience counters
+// the chaos fabric leaves behind (retries, requeues, crashes,
+// dead-letters, degraded steps) and the overload-control counters
+// (shaped/shed/fallback steps, credit denials, breaker transitions).
 // Collection is thread-safe; simulation ranks and staging buckets
 // record concurrently.
+//
+// The Collector can publish its aggregates into an obs.Registry
+// (PublishTo) so the same run is scrapeable in Prometheus text form;
+// TableII remains the human-facing view and its output is unchanged.
 package metrics
 
 import (
@@ -11,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"insitu/internal/obs"
 )
 
 // Breakdown aggregates the cost of one analysis over a run.
@@ -74,6 +84,10 @@ type Collector struct {
 	move      map[string]*Breakdown            // movement + in-transit accumulation
 
 	stepWall map[int]time.Duration // step -> max simulation-side wall time over ranks
+
+	// stepWallHist mirrors RecordStepWall samples into the published
+	// per-step wall-latency histogram (nil until PublishTo).
+	stepWallHist *obs.Histogram
 
 	res  Resilience
 	over Overload
@@ -191,6 +205,9 @@ func (c *Collector) RecordStepWall(step int, d time.Duration) {
 	if d > c.stepWall[step] {
 		c.stepWall[step] = d
 	}
+	if c.stepWallHist != nil {
+		c.stepWallHist.Observe(d.Seconds())
+	}
 }
 
 // StepWalls returns the per-step maximum simulation-side wall times,
@@ -307,9 +324,68 @@ func (c *Collector) TableII() string {
 	return sb.String()
 }
 
+// PublishTo registers the collector's aggregates as live instruments
+// in an obs.Registry: monotonic totals as counter funcs sampled at
+// export time, and the per-step simulation-side wall latency as a
+// fixed-bucket histogram fed by RecordStepWall. Call once, before the
+// run records samples.
+func (c *Collector) PublishTo(reg *obs.Registry) {
+	reg.CounterFunc("pipeline_sim_seconds_total",
+		"total simulation time, summed over per-step maxima across ranks",
+		func() float64 { total, _, _ := c.SimTime(); return total.Seconds() })
+	reg.CounterFunc("pipeline_degraded_steps_total",
+		"analysis steps that fell back fully in-situ or dead-lettered",
+		func() float64 { return float64(c.Resilience().DegradedSteps) })
+	reg.CounterFunc("pipeline_shaped_steps_total",
+		"analysis steps admitted at a reduced (shaped) payload level",
+		func() float64 { return float64(c.Overload().StepsShaped) })
+	reg.CounterFunc("pipeline_shed_steps_total",
+		"analysis steps dropped with an explicit shed marker",
+		func() float64 { return float64(c.Overload().StepsShed) })
+	reg.CounterFunc("pipeline_fallback_steps_total",
+		"analysis steps the admission ladder forced in-situ",
+		func() float64 { return float64(c.Overload().StepsFallback) })
+	reg.CounterFunc("pipeline_transit_bytes_total",
+		"intermediate bytes moved to the staging tier, all analyses",
+		func() float64 {
+			var n int64
+			for _, name := range c.Analyses() {
+				n += c.Total(name).MoveBytes
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("pipeline_transit_seconds_total",
+		"in-transit compute wall time, all analyses",
+		func() float64 {
+			var d time.Duration
+			for _, name := range c.Analyses() {
+				d += c.Total(name).InTransit
+			}
+			return d.Seconds()
+		})
+	h := reg.Histogram("pipeline_step_wall_seconds",
+		"per-step simulation-side wall time (max over ranks per sample)",
+		obs.LatencyBuckets)
+	c.mu.Lock()
+	c.stepWallHist = h
+	c.mu.Unlock()
+}
+
+// fmtDur renders a duration for a fixed-width table column. Precision
+// steps down as magnitude grows so the rendered string never exceeds
+// the 14-character column: sub-minute durations keep microsecond
+// precision, sub-hour durations millisecond, anything longer second —
+// without this, an hour-scale duration ("1h23m45.678901s") overflows
+// its column and drifts every column after it.
 func fmtDur(d time.Duration) string {
-	if d == 0 {
+	switch {
+	case d == 0:
 		return "—"
+	case d < time.Minute:
+		return d.Round(time.Microsecond).String()
+	case d < time.Hour:
+		return d.Round(time.Millisecond).String()
+	default:
+		return d.Round(time.Second).String()
 	}
-	return d.Round(time.Microsecond).String()
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"unicode/utf8"
 )
 
 func TestSimTimeKeepsMaxPerStep(t *testing.T) {
@@ -82,6 +83,52 @@ func TestTableIIFormat(t *testing.T) {
 	// Header present.
 	if !strings.Contains(out, "in-transit") {
 		t.Fatalf("missing header:\n%s", out)
+	}
+}
+
+func TestFmtDurAdaptivePrecision(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "—"},
+		{1500 * time.Nanosecond, "2µs"}, // sub-minute: µs rounding
+		{59*time.Second + 999*time.Millisecond, "59.999s"},       // still µs precision band
+		{61*time.Second + 123456789*time.Nanosecond, "1m1.123s"}, // sub-hour: ms rounding
+		{59*time.Minute + 59*time.Second + 700*time.Millisecond, "59m59.7s"},
+		{3*time.Hour + 25*time.Minute + 45*time.Second + 600*time.Millisecond, "3h25m46s"}, // hours: s rounding
+	}
+	for _, tc := range cases {
+		if got := fmtDur(tc.d); got != tc.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+		if len(fmtDur(tc.d)) > 14 {
+			t.Errorf("fmtDur(%v) = %q overflows the 14-char column", tc.d, fmtDur(tc.d))
+		}
+	}
+}
+
+// TestTableIIGoldenLongDurations pins the exact rendering — column
+// alignment included — of a table whose durations exceed one minute,
+// the case where the old fixed-precision fmtDur overflowed its column
+// and pushed every later column out of alignment.
+func TestTableIIGoldenLongDurations(t *testing.T) {
+	c := NewCollector()
+	c.RecordInSitu("hybrid topology", 1, 83*time.Minute+20*time.Second)
+	c.RecordTransit("hybrid topology", 2*time.Minute+3456*time.Millisecond,
+		time.Minute, 87_020_000, 4*time.Hour+1500*time.Millisecond)
+	c.RecordInSitu("in-situ statistics", 1, 250*time.Microsecond)
+	want := "" +
+		"analysis                                          in-situ       movement     moved (MB)     in-transit\n" +
+		"hybrid topology                                  1h23m20s       2m3.456s          87.02         4h0m2s\n" +
+		"in-situ statistics                                  250µs              —           0.00              —\n"
+	if got := c.TableII(); got != want {
+		t.Fatalf("TableII drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	for i, line := range strings.Split(strings.TrimRight(c.TableII(), "\n"), "\n") {
+		if n := utf8.RuneCountInString(line); n != 102 {
+			t.Fatalf("line %d is %d chars, want 102 (columns drifted): %q", i+1, n, line)
+		}
 	}
 }
 

@@ -1,0 +1,181 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"insitu/internal/core"
+	"insitu/internal/grid"
+	"insitu/internal/netsim"
+	"insitu/internal/obs"
+	"insitu/internal/sim"
+)
+
+// runInstrumented runs a small pipeline with the observability plane
+// attached and returns the plane plus the pipeline for /status.
+func runInstrumented(t *testing.T) (*obs.Plane, *core.Pipeline) {
+	t.Helper()
+	simCfg := sim.DefaultConfig(grid.NewBox(16, 8, 8), 2, 1, 1)
+	cfg := core.Config{Sim: simCfg, DSServers: 2, Buckets: 2, Net: netsim.Gemini()}
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Register(&core.StatsHybrid{EveryN: 1})
+	pl := p.EnableObs()
+	if _, err := p.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	return pl, p
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestObsEndpoint(t *testing.T) {
+	pl, p := runInstrumented(t)
+	srv := httptest.NewServer(obs.Handler(pl, func() any { return p.Status() }))
+	defer srv.Close()
+
+	// /metrics carries the acceptance series even on an un-faulted,
+	// credit-less run (funcs read zero).
+	metrics := string(get(t, srv, "/metrics"))
+	for _, want := range []string{
+		"dart_transfer_bytes_total",
+		"dart_retries_total",
+		"credits_available",
+		"admission_decisions_total",
+		"dataspaces_queue_depth",
+		"pipeline_tasks_submitted_total",
+		"pipeline_step_wall_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get(t, srv, "/trace.json"), &doc); err != nil {
+		t.Fatalf("/trace.json does not parse: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		cats[ev.Cat] = true
+	}
+	for _, want := range []string{obs.CatTimeline, obs.CatDart, obs.CatTask} {
+		if !cats[want] {
+			t.Errorf("/trace.json has no %q events", want)
+		}
+	}
+
+	var st struct {
+		Done      bool  `json:"done"`
+		Submitted int64 `json:"submitted"`
+		Completed int64 `json:"completed"`
+	}
+	if err := json.Unmarshal(get(t, srv, "/status"), &st); err != nil {
+		t.Fatalf("/status does not parse: %v", err)
+	}
+	if !st.Done || st.Submitted == 0 || st.Submitted != st.Completed {
+		t.Errorf("/status inconsistent after drain: %+v", st)
+	}
+
+	if body := string(get(t, srv, "/debug/pprof/")); !strings.Contains(body, "profile") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+}
+
+// TestTaskLifecycleReconciles drives a run and checks the JSONL ledger
+// invariant: every task.submit id pairs with exactly one task.done.
+func TestTaskLifecycleReconciles(t *testing.T) {
+	pl, _ := runInstrumented(t)
+	var sb strings.Builder
+	if err := obs.WriteJSONL(&sb, pl.Recorder()); err != nil {
+		t.Fatal(err)
+	}
+	submits := map[string]int{}
+	dones := map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Name  string            `json:"name"`
+			Attrs map[string]string `json:"attrs"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("jsonl line does not parse: %v", err)
+		}
+		switch rec.Name {
+		case "task.submit":
+			submits[rec.Attrs["task"]]++
+		case "task.done":
+			dones[rec.Attrs["task"]]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(submits) == 0 {
+		t.Fatal("no task.submit events recorded")
+	}
+	for id, n := range submits {
+		if n != 1 || dones[id] != 1 {
+			t.Errorf("task %s: %d submits, %d terminal events; want 1 and 1", id, n, dones[id])
+		}
+	}
+	for id := range dones {
+		if submits[id] == 0 {
+			t.Errorf("task %s finished but never submitted", id)
+		}
+	}
+}
+
+// TestLegacyViewsUnchanged checks that attaching the full plane does
+// not perturb the legacy text renderings: the Gantt over a shared
+// recorder renders exactly the timeline-category spans.
+func TestLegacyViewsUnchanged(t *testing.T) {
+	pl, p := runInstrumented(t)
+	tl := p.EnableTrace() // idempotent; returns the plane's timeline
+	if tl.Recorder() != pl.Recorder() {
+		t.Fatal("timeline does not share the plane's recorder")
+	}
+	for _, s := range tl.Spans() {
+		for _, lane := range []string{"queue"} {
+			if s.Lane == lane {
+				t.Fatalf("non-timeline lane %q leaked into the Gantt view", lane)
+			}
+		}
+	}
+	gantt := tl.Gantt(80)
+	if !strings.Contains(gantt, "sim") {
+		t.Fatalf("gantt missing sim lane:\n%s", gantt)
+	}
+	if strings.Contains(gantt, "queue") || strings.Contains(gantt, "overload") {
+		t.Fatalf("gantt rendered non-timeline lanes:\n%s", gantt)
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Field order follows the spec's examples; args maps marshal with
+// sorted keys, so output is deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the recorder's spans as a Chrome trace-event
+// JSON object loadable in chrome://tracing and ui.perfetto.dev. Lanes
+// map to threads of one process ("sim" first, the rest sorted, matching
+// the text Gantt's row order); timed spans become complete ("X")
+// events, instantaneous ones thread-scoped instant ("i") events.
+// Timestamps are microseconds since the recorder's anchor.
+func WriteChromeTrace(w io.Writer, rec *Recorder) error {
+	spans := rec.Spans()
+	anchor := rec.Anchor()
+
+	var lanes []string
+	seen := map[string]int{}
+	for _, s := range spans {
+		if _, ok := seen[s.Lane]; !ok {
+			seen[s.Lane] = 0
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i] == "sim" {
+			return true
+		}
+		if lanes[j] == "sim" {
+			return false
+		}
+		return lanes[i] < lanes[j]
+	})
+	for i, lane := range lanes {
+		seen[lane] = i
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(lanes))
+	for i, lane := range lanes {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i,
+			Args: map[string]string{"name": lane},
+		})
+	}
+	for _, s := range spans {
+		args := make(map[string]string, len(s.Attrs)+2)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		args["id"] = fmt.Sprintf("%d", s.ID)
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%d", s.Parent)
+		}
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Pid: 1, Tid: seen[s.Lane],
+			Ts:   float64(s.Start.Sub(anchor).Nanoseconds()) / 1e3,
+			Args: args,
+		}
+		if s.Instant() {
+			ev.Ph, ev.S = "i", "t"
+		} else {
+			d := float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3
+			ev.Ph, ev.Dur = "X", &d
+		}
+		events = append(events, ev)
+	}
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// jsonlRecord is one line of the JSONL event log.
+type jsonlRecord struct {
+	Type    string            `json:"type"` // "span" or "event"
+	ID      int64             `json:"id"`
+	Parent  int64             `json:"parent,omitempty"`
+	Cat     string            `json:"cat"`
+	Lane    string            `json:"lane"`
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_ns"`
+	EndNS   int64             `json:"end_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL renders the recorder's spans as a JSON-lines event log:
+// one object per span/event, timestamps in nanoseconds since the
+// anchor, ordered by start time. This is the format downstream tools
+// reconcile the task lifecycle from (every task.submit id pairs with
+// exactly one task.done).
+func WriteJSONL(w io.Writer, rec *Recorder) error {
+	anchor := rec.Anchor()
+	enc := json.NewEncoder(w)
+	for _, s := range rec.Spans() {
+		r := jsonlRecord{
+			Type: "span", ID: s.ID, Parent: s.Parent,
+			Cat: s.Cat, Lane: s.Lane, Name: s.Name,
+			StartNS: s.Start.Sub(anchor).Nanoseconds(),
+			EndNS:   s.End.Sub(anchor).Nanoseconds(),
+		}
+		if s.Instant() {
+			r.Type = "event"
+		}
+		if len(s.Attrs) > 0 {
+			r.Attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				r.Attrs[a.Key] = a.Value
+			}
+		}
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

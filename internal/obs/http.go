@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live observability endpoint: a mux serving
+//
+//	/metrics      Prometheus text dump of the plane's registry
+//	/trace.json   Chrome trace-event JSON of the plane's recorder
+//	/events.jsonl JSONL event log of the plane's recorder
+//	/status       JSON snapshot from the status callback (optional)
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// All exports render live state at request time, so the endpoint can
+// be scraped while a run is in flight. status may be nil, in which
+// case /status serves an empty object.
+func Handler(p *Plane, status func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("observability endpoints:\n" +
+			"  /metrics       Prometheus text dump\n" +
+			"  /trace.json    Chrome trace (open in chrome://tracing or ui.perfetto.dev)\n" +
+			"  /events.jsonl  JSONL event log\n" +
+			"  /status        pipeline status snapshot\n" +
+			"  /debug/pprof/  live profiling\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteChromeTrace(w, p.Recorder())
+	})
+	mux.HandleFunc("/events.jsonl", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		WriteJSONL(w, p.Recorder())
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var v any = map[string]any{}
+		if status != nil {
+			v = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -508,8 +508,8 @@ func DefaultConfig() Config {
 		},
 		Ladder: LadderConfig{
 			QueueHigh: 3, QueueLow: 1,
-			LatencyHigh: 25 * time.Millisecond,
-			LatencyLow:  10 * time.Millisecond,
+			LatencyHigh:  25 * time.Millisecond,
+			LatencyLow:   10 * time.Millisecond,
 			RecoverAfter: 2,
 		},
 		QueueBound:      8,

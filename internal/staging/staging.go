@@ -21,6 +21,7 @@ import (
 	"insitu/internal/bufpool"
 	"insitu/internal/dart"
 	"insitu/internal/dataspaces"
+	"insitu/internal/obs"
 )
 
 // ErrDeadLetter marks a task that exhausted its attempt budget: it was
@@ -153,6 +154,109 @@ type Area struct {
 	deadLetters atomic.Int64
 
 	probe dart.MemHandle
+
+	plane atomic.Pointer[obs.Plane]
+}
+
+// SetPlane attaches the observability plane: every task attempt records
+// a span on its bucket's lane (with pull and run child spans), every
+// final result records a terminal task.done event, crashes record
+// bucket.crash events, and the failure counters are published as metric
+// series. A nil plane is ignored.
+func (a *Area) SetPlane(pl *obs.Plane) {
+	if pl == nil {
+		return
+	}
+	reg := pl.Registry()
+	reg.CounterFunc("staging_crashes_total", "bucket crashes, each followed by a respawn",
+		func() float64 { return float64(a.crashes.Load()) })
+	reg.CounterFunc("staging_dead_letters_total", "tasks that exhausted their attempt budget",
+		func() float64 { return float64(a.deadLetters.Load()) })
+	a.plane.Store(pl)
+}
+
+// attempt is the open task.attempt span for one assigned task; a nil
+// attempt (observability disabled) swallows all recording.
+type attempt struct {
+	act  *obs.Active
+	rec  *obs.Recorder
+	lane string
+}
+
+// beginAttempt opens the task.attempt span on the bucket's lane.
+func (a *Area) beginAttempt(id int, task dataspaces.Task) *attempt {
+	pl := a.plane.Load()
+	if pl == nil {
+		return nil
+	}
+	rec := pl.Recorder()
+	lane := fmt.Sprintf("bucket-%d", id)
+	act := rec.Begin(0, obs.CatTask, lane, "task.attempt",
+		obs.Int64("task", task.ID),
+		obs.Str("analysis", task.Analysis),
+		obs.Int("step", task.Step),
+		obs.Int("attempt", task.Attempts+1))
+	return &attempt{act: act, rec: rec, lane: lane}
+}
+
+// child records a completed child span under the attempt.
+func (at *attempt) child(name string, start, end time.Time, attrs ...obs.Attr) {
+	if at == nil {
+		return
+	}
+	at.rec.Record(at.act.ID(), obs.CatTask, at.lane, name, start, end, attrs...)
+}
+
+// end closes the attempt span with its outcome: "ok", "error",
+// "requeue", or "dead-letter", plus whether the bucket crashed while
+// holding the task.
+func (at *attempt) end(res *Result, crashed bool) {
+	if at == nil {
+		return
+	}
+	outcome := "ok"
+	var err error
+	switch {
+	case res == nil:
+		outcome = "requeue"
+	case res.DeadLetter:
+		outcome, err = "dead-letter", res.Err
+	case res.Err != nil:
+		outcome, err = "error", res.Err
+	}
+	at.act.End(obs.Str("outcome", outcome), obs.Bool("crashed", crashed), obs.Error(err))
+}
+
+// observeDone records the terminal task.done event for a final result.
+// Together with dataspaces' task.submit events this forms the lifecycle
+// ledger: every submitted task id pairs with exactly one task.done.
+func (a *Area) observeDone(id int, res *Result) {
+	pl := a.plane.Load()
+	if pl == nil {
+		return
+	}
+	outcome := "ok"
+	switch {
+	case res.DeadLetter:
+		outcome = "dead-letter"
+	case res.Err != nil:
+		outcome = "error"
+	}
+	pl.Recorder().Event(0, obs.CatTask, fmt.Sprintf("bucket-%d", id), "task.done", time.Now(),
+		obs.Int64("task", res.Task.ID),
+		obs.Str("analysis", res.Task.Analysis),
+		obs.Int("step", res.Task.Step),
+		obs.Str("outcome", outcome),
+		obs.Int("attempts", res.Attempts))
+}
+
+// observeCrash records a bucket.crash event on the bucket's lane.
+func (a *Area) observeCrash(id int) {
+	pl := a.plane.Load()
+	if pl == nil {
+		return
+	}
+	pl.Recorder().Event(0, obs.CatTask, fmt.Sprintf("bucket-%d", id), "bucket.crash", time.Now())
 }
 
 // New creates a staging area with nbuckets bucket cores attached to
@@ -323,6 +427,7 @@ func (a *Area) bucketLoop(id int) {
 			// result is visible to the drain: the producer must be able
 			// to re-acquire the credit for the next step it admits.
 			a.ds.FinishTask(res.Task)
+			a.observeDone(id, res)
 			a.mu.Lock()
 			a.busy[id]++
 			a.mu.Unlock()
@@ -330,6 +435,7 @@ func (a *Area) bucketLoop(id int) {
 		}
 		if crashed {
 			a.crashes.Add(1)
+			a.observeCrash(id)
 			a.respawn(id)
 			return
 		}
@@ -369,8 +475,10 @@ func (a *Area) failTask(id int, task dataspaces.Task, start time.Time, cause err
 // runTask executes one assigned task. It returns the Result to emit
 // (nil when the task was requeued instead) and whether the bucket
 // crashed while holding the task.
-func (a *Area) runTask(id int, ep *dart.Endpoint, kill <-chan struct{}, task dataspaces.Task) (*Result, bool) {
+func (a *Area) runTask(id int, ep *dart.Endpoint, kill <-chan struct{}, task dataspaces.Task) (out *Result, crashed bool) {
 	start := time.Now()
+	at := a.beginAttempt(id, task)
+	defer func() { at.end(out, crashed) }()
 	// Checkpoint: crash at assignment. The task never started; it is
 	// requeued and the replacement bucket (or a peer) picks it up.
 	if killed(kill) {
@@ -410,6 +518,8 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, kill <-chan struct{}, task dat
 			res.MoveModeled = r.Duration
 		}
 	}
+	at.child("task.pull", pullStart, time.Now(),
+		obs.Int64("bytes", res.BytesMoved), obs.Error(pullErr))
 	recycle := func() {
 		for i, p := range data {
 			if p != nil {
@@ -450,14 +560,15 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, kill <-chan struct{}, task dat
 		return &res, false
 	}
 	computeStart := time.Now()
-	out, err := safeHandler(func() (any, error) { return h(task, data) })
+	hOut, err := safeHandler(func() (any, error) { return h(task, data) })
 	if a.pooled {
 		for _, p := range data {
 			bufpool.Put(p)
 		}
 	}
+	at.child("task.run", computeStart, time.Now(), obs.Error(err))
 	res.ComputeWall = time.Since(computeStart)
-	res.Output = out
+	res.Output = hOut
 	res.Err = err
 	res.End = time.Now()
 	return &res, false

@@ -1,9 +1,18 @@
-// Package trace records the pipeline's execution timeline — when each
-// simulation step ran and when each in-transit task occupied which
-// staging bucket — and renders it as a text Gantt chart. It makes the
-// paper's temporal multiplexing directly visible: successive
-// timesteps' slow in-transit tasks overlap on different buckets while
-// the simulation marches ahead.
+// Package trace renders the pipeline's execution timeline — when each
+// simulation step ran, when each in-transit task occupied which staging
+// bucket, and the instantaneous marks the fault and overload stories
+// leave behind (degradations, dead-letters, breaker and ladder moves) —
+// as a text Gantt chart plus per-lane utilization. It makes the paper's
+// temporal multiplexing directly visible: successive timesteps' slow
+// in-transit tasks overlap on different buckets while the simulation
+// marches ahead.
+//
+// Since the observability plane (internal/obs) became the system of
+// record, Timeline is a legacy view over an obs.Recorder: Add and Mark
+// record spans under the obs.CatTimeline category, and the Gantt and
+// Utilization renderers consume exactly those spans. The rendered text
+// is unchanged, while the same spans also feed the Chrome-trace and
+// JSONL exporters.
 package trace
 
 import (
@@ -12,36 +21,54 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"insitu/internal/obs"
 )
 
-// Span is one timed interval on a lane.
+// Span is one timed interval on a lane, as rendered by the Gantt view.
 type Span struct {
-	Lane  string // "sim" or "bucket-N"
+	Lane  string // "sim", "bucket-N", or "overload"
 	Label string // e.g. "step 3" or "topology@3"
 	Start time.Time
 	End   time.Time
 }
 
-// Timeline collects spans concurrently.
+// Timeline records Gantt spans into an obs.Recorder. The zero value is
+// usable (it lazily creates a private recorder); Over attaches a
+// timeline to a shared recorder so its spans join a full-run trace.
 type Timeline struct {
-	mu    sync.Mutex
-	spans []Span
-	t0    time.Time
+	mu  sync.Mutex
+	rec *obs.Recorder
 }
 
-// New creates a timeline anchored at now.
-func New() *Timeline {
-	return &Timeline{t0: time.Now()}
+// New creates a timeline over a fresh recorder anchored at now.
+func New() *Timeline { return Over(obs.NewRecorder()) }
+
+// Over creates a timeline view recording into (and rendering from) the
+// given recorder.
+func Over(rec *obs.Recorder) *Timeline { return &Timeline{rec: rec} }
+
+// recorder returns the backing recorder, creating one on first use so
+// the zero value keeps working.
+func (tl *Timeline) recorder() *obs.Recorder {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if tl.rec == nil {
+		tl.rec = obs.NewRecorder()
+	}
+	return tl.rec
 }
+
+// Recorder exposes the backing recorder, so the timeline's spans can
+// be exported alongside the rest of the observability plane.
+func (tl *Timeline) Recorder() *obs.Recorder { return tl.recorder() }
 
 // Anchor returns the timeline origin.
-func (tl *Timeline) Anchor() time.Time { return tl.t0 }
+func (tl *Timeline) Anchor() time.Time { return tl.recorder().Anchor() }
 
 // Add records a span.
 func (tl *Timeline) Add(lane, label string, start, end time.Time) {
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
-	tl.spans = append(tl.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+	tl.recorder().Record(0, obs.CatTimeline, lane, label, start, end)
 }
 
 // Mark records an instantaneous event — a fault, a degradation
@@ -50,12 +77,15 @@ func (tl *Timeline) Mark(lane, label string, at time.Time) {
 	tl.Add(lane, label, at, at)
 }
 
-// Spans returns a copy of all recorded spans, sorted by start time.
+// Spans returns a copy of all recorded timeline spans, sorted by start
+// time. Spans other categories recorded into a shared recorder are not
+// included: the Gantt renders exactly what Add and Mark recorded.
 func (tl *Timeline) Spans() []Span {
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
-	out := append([]Span{}, tl.spans...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	src := tl.recorder().SpansCat(obs.CatTimeline)
+	out := make([]Span, len(src))
+	for i, s := range src {
+		out[i] = Span{Lane: s.Lane, Label: s.Name, Start: s.Start, End: s.End}
+	}
 	return out
 }
 
