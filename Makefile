@@ -3,6 +3,13 @@
 #   make test       fast inner loop (build + tests, no race)
 #   make bench      the paper-table benches
 #   make bench-par  parallel-kernel / pooled-transfer benches (BENCH_PR1.json)
+#   make bench-json regenerate BENCH_PR6.json from the codec benches
+#   make bench-gate regenerate the codec benches to a temp file and diff
+#                   the machine-independent metrics (allocs/op, B/op,
+#                   x-compression, max-err) against the committed
+#                   BENCH_PR6.json with a 10% tolerance
+#   make fuzz-smoke 10s coverage-guided fuzz of the codec frame decoder
+#                   (typed errors only, never a panic)
 #   make chaos      race-enabled chaos suite: fixed-seed soak (50 steps
 #                   under drops/timeouts/corruption/partition/crash)
 #                   plus a short randomized-seed smoke
@@ -17,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par chaos brownout fmt obs-check
+.PHONY: tier1 vet build test race bench bench-par bench-json bench-gate fuzz-smoke chaos brownout fmt obs-check
 
 tier1: fmt vet build test race
 
@@ -46,7 +53,18 @@ bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
 bench-par:
-	$(GO) test -run xxx -bench 'Parallel|Pooled|Unpooled' -benchmem .
+	$(GO) test -run xxx -bench 'Codec|Parallel|Pooled|Unpooled' -benchmem .
+
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json
+
+bench-gate:
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/benchjson -o "$$tmp" && \
+	$(GO) run ./cmd/benchjson -diff BENCH_PR6.json "$$tmp"
+
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/codec/
 
 chaos:
 	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/core/

@@ -1,0 +1,239 @@
+// Command benchjson runs the repo's codec benchmarks and records them
+// as a machine-parseable JSON file (BENCH_PR6.json), or diffs two such
+// files gating only on machine-independent metrics.
+//
+// Generate:
+//
+//	go run ./cmd/benchjson -o BENCH_PR6.json
+//
+// Gate (exit 1 on regression beyond tolerance):
+//
+//	go run ./cmd/benchjson -diff BENCH_PR6.json fresh.json
+//
+// The gate compares B/op, allocs/op and the custom bench metrics
+// (x-compression, max-err) — numbers that reproduce on any machine.
+// ns/op is machine-dependent and is recorded but never gated.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark line.
+type Bench struct {
+	NsOp     float64            `json:"ns_op"`
+	BOp      int64              `json:"B_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk shape of a bench JSON file.
+type File struct {
+	PR          string            `json:"pr"`
+	GeneratedBy string            `json:"generated_by"`
+	Command     string            `json:"command"`
+	Environment map[string]string `json:"environment"`
+	Benchmarks  map[string]Bench  `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		diff      = flag.Bool("diff", false, "diff mode: benchjson -diff old.json new.json")
+		out       = flag.String("o", "BENCH_PR6.json", "output file (generate mode)")
+		benchRe   = flag.String("bench", "Codec", "benchmark regex to run (generate mode)")
+		benchtime = flag.String("benchtime", "200x", "go test -benchtime value (generate mode)")
+		pr        = flag.String("pr", "Transfer-path codec layer: delta encoding + float quantization", "pr title recorded in the file")
+		tol       = flag.Float64("tol", 0.10, "relative tolerance for gated metrics (diff mode)")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatalf("diff mode needs exactly two files: benchjson -diff old.json new.json")
+		}
+		if errs := diffFiles(flag.Arg(0), flag.Arg(1), *tol); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("bench gate: all machine-independent metrics within tolerance")
+		return
+	}
+
+	if err := generate(*out, *benchRe, *benchtime, *pr); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func generate(out, benchRe, benchtime, pr string) error {
+	args := []string{"test", "-run", "xxx", "-bench", benchRe, "-benchmem", "-benchtime", benchtime, "."}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	f, err := parseBenchOutput(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	f.PR = pr
+	f.GeneratedBy = "cmd/benchjson"
+	f.Command = "go " + strings.Join(args, " ")
+	f.Environment["cpus"] = strconv.Itoa(runtime.NumCPU())
+	f.Environment["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines matched %q", benchRe)
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(f.Benchmarks))
+	for n := range f.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("wrote %s (%d benchmarks: %s)\n", out, len(names), strings.Join(names, ", "))
+	return nil
+}
+
+// benchLine matches "BenchmarkName[-P] <N> <fields...>" where each
+// field is "<value> <unit>".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parseBenchOutput(out []byte) (*File, error) {
+	f := &File{
+		Environment: map[string]string{},
+		Benchmarks:  map[string]Bench{},
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				f.Environment[key] = strings.TrimSpace(v)
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Bench{Metrics: map[string]float64{}}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q: %w", m[1], fields[i], err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsOp = val
+			case "B/op":
+				b.BOp = int64(val)
+			case "allocs/op":
+				b.AllocsOp = int64(val)
+			default:
+				b.Metrics[unit] = val
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		f.Benchmarks[m[1]] = b
+	}
+	return f, sc.Err()
+}
+
+func loadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// diffFiles gates new against old on machine-independent metrics only:
+// allocs/op must not grow, B/op must stay within tolerance (plus a
+// small absolute slack for pool-accounting jitter), x-compression must
+// not shrink beyond tolerance, max-err must not grow beyond tolerance.
+func diffFiles(oldPath, newPath string, tol float64) []string {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var errs []string
+	names := make([]string, 0, len(oldF.Benchmarks))
+	for n := range oldF.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldF.Benchmarks[name]
+		n, ok := newF.Benchmarks[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("%s: missing from %s", name, newPath))
+			continue
+		}
+		if n.AllocsOp > o.AllocsOp {
+			errs = append(errs, fmt.Sprintf("%s: allocs/op %d -> %d", name, o.AllocsOp, n.AllocsOp))
+		}
+		// At zero allocs/op the residual B/op reading is sync.Pool
+		// accounting jitter, not real allocation — gate B/op only when a
+		// run actually allocates (with a small absolute slack on top of
+		// the relative tolerance for amortization noise).
+		if o.AllocsOp > 0 || n.AllocsOp > 0 {
+			if limit := int64(float64(o.BOp)*(1+tol)) + 64; n.BOp > limit {
+				errs = append(errs, fmt.Sprintf("%s: B/op %d -> %d (limit %d)", name, o.BOp, n.BOp, limit))
+			}
+		}
+		for unit, ov := range o.Metrics {
+			nv, ok := n.Metrics[unit]
+			if !ok {
+				errs = append(errs, fmt.Sprintf("%s: metric %q disappeared", name, unit))
+				continue
+			}
+			switch unit {
+			case "x-compression", "speedup":
+				if nv < ov*(1-tol) {
+					errs = append(errs, fmt.Sprintf("%s: %s %.3f -> %.3f", name, unit, ov, nv))
+				}
+			case "max-err":
+				if nv > ov*(1+tol)+1e-12 {
+					errs = append(errs, fmt.Sprintf("%s: %s %g -> %g", name, unit, ov, nv))
+				}
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,344 @@
+// Package codec is the transfer-path encoder/decoder layer applied at
+// the DART framing boundary. A producer encodes an intermediate
+// payload into a self-describing frame before registering it for
+// remote pull; the consumer-side Get decodes transparently after CRC32
+// verification, so corruption is always caught on the encoded bytes
+// before any decoder runs. Because netsim derives modeled transfer
+// latency from the registered (encoded) length, every byte a codec
+// removes is a proportional modeled-latency win — the bandwidth
+// economy the paper's in-transit placement is built around.
+//
+// Four codecs ship:
+//
+//   - Identity: no frame at all; the raw payload is registered
+//     unchanged, byte-for-byte identical to the pre-codec transport.
+//   - Delta: XOR against the previous timestep's payload (resident in
+//     the registry's base store), byte-plane shuffled and zero-run
+//     length encoded. Exact reconstruction; falls back to a
+//     self-contained literal frame when no usable base exists.
+//   - Quantize: bounded-error bit packing of the payload's float64
+//     tail under a per-field max-error knob; bytes before the tail
+//     travel verbatim. Falls back to literal on non-finite values.
+//   - Subsample: every Stride-th float of the tail travels now
+//     (decode reconstructs by sample-and-hold); the exact payload is
+//     retained as a refinement block applied on demand.
+//
+// All scratch, frame, and decode buffers come from internal/bufpool so
+// the steady-state encode/decode path allocates nothing.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"insitu/internal/bufpool"
+)
+
+// ID names a codec in the frame header.
+type ID uint8
+
+const (
+	// Identity ships raw bytes with no frame.
+	Identity ID = iota
+	// Delta encodes against the previous version's payload.
+	Delta
+	// Quantize bit-packs the float64 tail under an error bound.
+	Quantize
+	// Subsample ships a coarse float tail; refinement is on demand.
+	Subsample
+
+	// NumIDs is the number of codec IDs, for per-codec instrument
+	// arrays.
+	NumIDs = 4
+)
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	switch id {
+	case Identity:
+		return "identity"
+	case Delta:
+		return "delta"
+	case Quantize:
+		return "quantize"
+	case Subsample:
+		return "subsample"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(id))
+}
+
+// Spec selects a codec and its tuning for one analysis route.
+type Spec struct {
+	ID ID
+	// MaxError is Quantize's absolute reconstruction-error bound per
+	// float. Zero selects DefaultRelError times the payload's value
+	// range, recomputed per payload.
+	MaxError float64
+	// Stride is Subsample's keep-every-Nth stride (default
+	// DefaultStride).
+	Stride int
+}
+
+const (
+	// DefaultRelError is Quantize's default error bound as a fraction
+	// of the payload's value range (~13 bits per float).
+	DefaultRelError = 1e-4
+	// DefaultStride is Subsample's default coarsening stride.
+	DefaultStride = 4
+	// baseRetention bounds how many versions per key the base and
+	// refinement stores retain — enough to cover every task the transit
+	// tier can hold in flight, small enough not to hoard buffers.
+	baseRetention = 32
+)
+
+// Typed frame errors. The frame decoder returns these (wrapped) and
+// never panics, whatever bytes arrive.
+var (
+	// ErrBadFrame is returned for a frame too short for its header or
+	// with the wrong magic or version.
+	ErrBadFrame = errors.New("codec: malformed frame")
+	// ErrUnknownCodec is returned for a codec ID no decoder claims.
+	ErrUnknownCodec = errors.New("codec: unknown codec id")
+	// ErrTruncated is returned when the frame body ends before the
+	// encoding it declares.
+	ErrTruncated = errors.New("codec: truncated frame")
+	// ErrSizeMismatch is returned when decoding produces a different
+	// byte count than the header's raw size.
+	ErrSizeMismatch = errors.New("codec: raw-size mismatch")
+	// ErrBadMeta is returned when a codec's metadata block is
+	// internally inconsistent.
+	ErrBadMeta = errors.New("codec: malformed codec metadata")
+	// ErrNoBase is returned when a delta frame's base version is no
+	// longer resident in the registry.
+	ErrNoBase = errors.New("codec: delta base unavailable")
+	// ErrNoRefinement is returned by ApplyRefinement when no refinement
+	// block is retained for the key/version.
+	ErrNoRefinement = errors.New("codec: refinement unavailable")
+	// ErrBadInput is returned by Encode for an impossible float-tail
+	// offset or payload shape.
+	ErrBadInput = errors.New("codec: bad encode input")
+)
+
+// Frame layout (little-endian):
+//
+//	[0:2]   magic 0xDC 0xF0
+//	[2]     frame version (frameVersion)
+//	[3]     codec ID
+//	[4:8]   raw (decoded) size, uint32
+//	[8:12]  codec metadata length, uint32
+//	[12:..] codec metadata, then the encoded body
+const (
+	magic0       = 0xDC
+	magic1       = 0xF0
+	frameVersion = 1
+	headerSize   = 12
+)
+
+// Key builds the base-store key for one producer stream: an analysis
+// route on one rank. Precompute it once per route — building it per
+// step would allocate on the hot path.
+func Key(name string, rank int) string {
+	return name + "/" + strconv.Itoa(rank)
+}
+
+// Result is one successful encode.
+type Result struct {
+	// Frame is the encoded frame, drawn from bufpool; nil means the
+	// codec chose identity and the caller registers the raw payload
+	// unchanged. Ownership of a non-nil Frame passes to the caller.
+	Frame []byte
+	// MaxError bounds the reconstruction error this encoding
+	// introduced (0 for Delta, Identity, and literal fallbacks).
+	MaxError float64
+}
+
+// Registry holds the codec state shared between producers and
+// consumers: the previous-version base store delta encodes against and
+// the refinement blocks Subsample retains. One registry is shared by
+// the DataSpaces service and the DART fabric of a pipeline.
+type Registry struct {
+	bases   store
+	refines store
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		bases:   store{m: make(map[string][]storeEntry)},
+		refines: store{m: make(map[string][]storeEntry)},
+	}
+}
+
+// Encode encodes raw under spec for the producer stream key at the
+// given version. floatOff is the byte offset of the payload's float64
+// tail (used by Quantize and Subsample; pass 0 when unknown — Delta
+// ignores it). The raw slice is only read; the caller keeps ownership.
+func (r *Registry) Encode(spec Spec, key string, version int, raw []byte, floatOff int) (Result, error) {
+	switch spec.ID {
+	case Identity:
+		return Result{}, nil
+	case Delta:
+		return r.encodeDelta(key, version, raw), nil
+	case Quantize:
+		return encodeQuantize(spec, raw, floatOff)
+	case Subsample:
+		return r.encodeSubsample(spec, key, version, raw, floatOff)
+	}
+	return Result{}, fmt.Errorf("%w: %d", ErrUnknownCodec, spec.ID)
+}
+
+// Decode reconstructs the raw payload from a frame. The returned
+// buffer comes from bufpool and is owned by the caller; the frame is
+// only read. Malformed frames return typed errors, never panic.
+func (r *Registry) Decode(frame []byte) ([]byte, ID, error) {
+	id, rawSize, meta, body, err := splitFrame(frame)
+	if err != nil {
+		return nil, 0, err
+	}
+	var raw []byte
+	switch id {
+	case Delta:
+		raw, err = r.decodeDelta(rawSize, meta, body)
+	case Quantize:
+		raw, err = decodeQuantize(rawSize, meta, body)
+	case Subsample:
+		raw, err = decodeSubsample(rawSize, meta, body)
+	default:
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownCodec, id)
+	}
+	if err != nil {
+		return nil, id, err
+	}
+	return raw, id, nil
+}
+
+// Inspect parses a frame header without decoding, returning the codec
+// ID and declared raw size.
+func Inspect(frame []byte) (ID, int, error) {
+	id, rawSize, _, _, err := splitFrame(frame)
+	return id, rawSize, err
+}
+
+// PrevVersion invokes fn with the retained payload for (key, version),
+// returning false when it is not resident. The slice is only valid
+// inside fn — the registry may recycle it afterwards. This is the
+// previous-version lookup the delta codec builds on, exposed for the
+// coordination layer.
+func (r *Registry) PrevVersion(key string, version int, fn func(raw []byte)) bool {
+	return r.bases.with(key, version, fn)
+}
+
+// ApplyRefinement exactly reconstructs a subsampled payload in place:
+// approx must be the decoder's sample-and-hold output for (key,
+// version), and is overwritten with the retained exact payload — the
+// on-demand refinement transfer of the subsample-then-refine scheme.
+func (r *Registry) ApplyRefinement(key string, version int, approx []byte) error {
+	mismatch := false
+	ok := r.refines.with(key, version, func(exact []byte) {
+		if len(exact) != len(approx) {
+			mismatch = true
+			return
+		}
+		copy(approx, exact)
+	})
+	if !ok {
+		return fmt.Errorf("%w: %s@%d", ErrNoRefinement, key, version)
+	}
+	if mismatch {
+		return fmt.Errorf("%w: refinement size differs from payload", ErrSizeMismatch)
+	}
+	return nil
+}
+
+// splitFrame validates the header and returns (id, rawSize, meta,
+// body).
+func splitFrame(frame []byte) (ID, int, []byte, []byte, error) {
+	if len(frame) < headerSize {
+		return 0, 0, nil, nil, fmt.Errorf("%w: %d bytes", ErrBadFrame, len(frame))
+	}
+	if frame[0] != magic0 || frame[1] != magic1 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if frame[2] != frameVersion {
+		return 0, 0, nil, nil, fmt.Errorf("%w: version %d", ErrBadFrame, frame[2])
+	}
+	id := ID(frame[3])
+	rawSize := int(binary.LittleEndian.Uint32(frame[4:8]))
+	metaLen := int(binary.LittleEndian.Uint32(frame[8:12]))
+	if metaLen < 0 || metaLen > len(frame)-headerSize {
+		return 0, 0, nil, nil, fmt.Errorf("%w: meta %d bytes beyond frame", ErrTruncated, metaLen)
+	}
+	meta := frame[headerSize : headerSize+metaLen]
+	body := frame[headerSize+metaLen:]
+	return id, rawSize, meta, body, nil
+}
+
+// newFrame draws a frame buffer sized for metaLen+bodyCap and writes
+// the header; the body cursor starts at headerSize+metaLen.
+func newFrame(id ID, rawSize, metaLen, bodyCap int) []byte {
+	f := bufpool.Get(headerSize + metaLen + bodyCap)
+	f[0], f[1], f[2], f[3] = magic0, magic1, frameVersion, byte(id)
+	binary.LittleEndian.PutUint32(f[4:8], uint32(rawSize))
+	binary.LittleEndian.PutUint32(f[8:12], uint32(metaLen))
+	return f
+}
+
+// checkTail validates a float-tail offset against a payload.
+func checkTail(raw []byte, floatOff int) (count int, err error) {
+	if floatOff < 0 || floatOff > len(raw) || (len(raw)-floatOff)%8 != 0 {
+		return 0, fmt.Errorf("%w: float tail at %d of %d bytes", ErrBadInput, floatOff, len(raw))
+	}
+	return (len(raw) - floatOff) / 8, nil
+}
+
+// storeEntry is one retained payload version.
+type storeEntry struct {
+	version int
+	buf     []byte
+}
+
+// store is a keyed ring of retained payload copies (bufpool-backed).
+// Readers borrow entries under the lock via with, so eviction can
+// safely recycle buffers.
+type store struct {
+	mu sync.Mutex
+	m  map[string][]storeEntry
+}
+
+// put retains a copy of raw as (key, version), evicting the oldest
+// entry beyond the retention window.
+func (s *store) put(key string, version int, raw []byte) {
+	cp := bufpool.Get(len(raw))
+	copy(cp, raw)
+	s.mu.Lock()
+	entries := append(s.m[key], storeEntry{version: version, buf: cp})
+	var evicted []byte
+	if len(entries) > baseRetention {
+		evicted = entries[0].buf
+		copy(entries, entries[1:])
+		entries = entries[:len(entries)-1]
+	}
+	s.m[key] = entries
+	s.mu.Unlock()
+	if evicted != nil {
+		bufpool.Put(evicted)
+	}
+}
+
+// with invokes fn with the retained payload for (key, version) under
+// the store lock, returning whether it was resident.
+func (s *store) with(key string, version int, fn func(raw []byte)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.m[key]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].version == version {
+			fn(entries[i].buf)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,449 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fieldLike builds a payload shaped like a grid.Field marshal: a small
+// opaque header followed by a float64 tail.
+func fieldLike(rng *rand.Rand, header, count int, gen func(i int) float64) []byte {
+	p := make([]byte, header+8*count)
+	rng.Read(p[:header])
+	for i := 0; i < count; i++ {
+		binary.LittleEndian.PutUint64(p[header+8*i:], math.Float64bits(gen(i)))
+	}
+	return p
+}
+
+// evolve perturbs a payload's float tail like one simulation timestep
+// with a localized feature: roughly every eighth value moves slightly,
+// the rest are untouched.
+func evolve(rng *rand.Rand, p []byte, header int) []byte {
+	q := append([]byte(nil), p...)
+	for off := header; off < len(q); off += 8 {
+		if rng.Intn(8) != 0 {
+			continue
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(q[off:]))
+		v += 1e-6 * (rng.Float64() - 0.5)
+		binary.LittleEndian.PutUint64(q[off:], math.Float64bits(v))
+	}
+	return q
+}
+
+func decodeOK(t *testing.T, r *Registry, res Result, wantID ID) []byte {
+	t.Helper()
+	id, rawSize, err := Inspect(res.Frame)
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if id != wantID {
+		t.Fatalf("frame codec = %v, want %v", id, wantID)
+	}
+	raw, id2, err := r.Decode(res.Frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if id2 != wantID || len(raw) != rawSize {
+		t.Fatalf("decode returned id %v size %d, want %v %d", id2, len(raw), wantID, rawSize)
+	}
+	return raw
+}
+
+// TestDeltaRoundTripExact: delta reconstruction is bit-exact across a
+// sequence of smoothly evolving versions, and the steady-state frames
+// are much smaller than the raw payloads.
+func TestDeltaRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRegistry()
+	key := Key("viz", 0)
+	p := fieldLike(rng, 76, 4096, func(i int) float64 {
+		return math.Sin(float64(i) / 50)
+	})
+	var wire, raw int
+	for v := 1; v <= 10; v++ {
+		res, err := r.Encode(Spec{ID: Delta}, key, v, p, 0)
+		if err != nil {
+			t.Fatalf("v%d: %v", v, err)
+		}
+		got := decodeOK(t, r, res, Delta)
+		if !bytes.Equal(got, p) {
+			t.Fatalf("v%d: delta round trip not bit-exact", v)
+		}
+		if res.MaxError != 0 {
+			t.Fatalf("v%d: delta reported max error %g, want 0", v, res.MaxError)
+		}
+		if v > 1 {
+			wire += len(res.Frame)
+			raw += len(p)
+		} else if len(res.Frame) < len(p) {
+			// Version 1 has no base: a literal frame, slightly larger
+			// than raw.
+			t.Fatalf("v1 must be literal, frame %d < raw %d", len(res.Frame), len(p))
+		}
+		p = evolve(rng, p, 76)
+	}
+	ratio := float64(raw) / float64(wire)
+	t.Logf("delta steady-state compression: %.2fx (%d -> %d bytes)", ratio, raw, wire)
+	if ratio < 3 {
+		t.Fatalf("delta compression %.2fx on sparse evolution, want >= 3x", ratio)
+	}
+}
+
+// TestDeltaIdenticalPayloadCollapses: an unchanged payload XORs to all
+// zeros and the frame collapses to a few dozen bytes.
+func TestDeltaIdenticalPayloadCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewRegistry()
+	key := Key("ckpt", 3)
+	p := fieldLike(rng, 20, 8192, func(i int) float64 { return float64(i) })
+	if _, err := r.Encode(Spec{ID: Delta}, key, 1, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Encode(Spec{ID: Delta}, key, 2, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frame) > 128 {
+		t.Fatalf("identical payload framed to %d bytes, want tiny", len(res.Frame))
+	}
+	if got := decodeOK(t, r, res, Delta); !bytes.Equal(got, p) {
+		t.Fatal("round trip broken")
+	}
+}
+
+// TestDeltaRandomPayloadsStayLiteral: incompressible random bytes must
+// not inflate — the encoder falls back to a literal frame.
+func TestDeltaRandomPayloadsStayLiteral(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewRegistry()
+	key := Key("rand", 0)
+	for v := 1; v <= 3; v++ {
+		p := make([]byte, 4096)
+		rng.Read(p)
+		res, err := r.Encode(Spec{ID: Delta}, key, v, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Frame) > len(p)+headerSize+deltaMetaLen(key)+16 {
+			t.Fatalf("random payload inflated to %d bytes from %d", len(res.Frame), len(p))
+		}
+		if got := decodeOK(t, r, res, Delta); !bytes.Equal(got, p) {
+			t.Fatalf("v%d: round trip broken", v)
+		}
+	}
+}
+
+// TestDeltaSizeChangeFallsBackToLiteral: a payload whose size differs
+// from its base (a shaped step) still round-trips via literal mode.
+func TestDeltaSizeChangeFallsBackToLiteral(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := NewRegistry()
+	key := Key("viz", 1)
+	p1 := fieldLike(rng, 12, 1000, func(i int) float64 { return float64(i) })
+	p2 := fieldLike(rng, 12, 125, func(i int) float64 { return float64(i) })
+	if _, err := r.Encode(Spec{ID: Delta}, key, 1, p1, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Encode(Spec{ID: Delta}, key, 2, p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeOK(t, r, res, Delta); !bytes.Equal(got, p2) {
+		t.Fatal("size-changed payload must round trip via literal mode")
+	}
+}
+
+// TestDeltaEvictedBase: decoding a frame whose base fell out of the
+// retention window returns ErrNoBase, typed.
+func TestDeltaEvictedBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := NewRegistry()
+	key := Key("old", 0)
+	p := fieldLike(rng, 8, 512, func(i int) float64 { return float64(i) })
+	if _, err := r.Encode(Spec{ID: Delta}, key, 1, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Encode(Spec{ID: Delta}, key, 2, evolve(rng, p, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), res.Frame...)
+	// Push the base (version 1) out of the ring.
+	for v := 3; v < 3+2*baseRetention; v++ {
+		p = evolve(rng, p, 8)
+		if _, err := r.Encode(Spec{ID: Delta}, key, v, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := r.Decode(frame); !errors.Is(err, ErrNoBase) {
+		t.Fatalf("decode with evicted base: %v, want ErrNoBase", err)
+	}
+}
+
+// TestQuantizeErrorBound: on randomized fields, quantize reconstruction
+// error stays within the configured bound and the packed frame is at
+// least 3x smaller than raw.
+func TestQuantizeErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := NewRegistry()
+	for trial := 0; trial < 20; trial++ {
+		header := 4 + rng.Intn(64)
+		count := 256 + rng.Intn(4096)
+		scale := math.Pow(10, float64(rng.Intn(7)-3))
+		p := fieldLike(rng, header, count, func(i int) float64 {
+			return scale * (rng.Float64()*2 - 1)
+		})
+		bound := scale * math.Pow(10, float64(-1-rng.Intn(4)))
+		res, err := r.Encode(Spec{ID: Quantize, MaxError: bound}, "q", trial, p, header)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.MaxError > bound {
+			t.Fatalf("trial %d: reported max error %g exceeds bound %g", trial, res.MaxError, bound)
+		}
+		got := decodeOK(t, r, res, Quantize)
+		if !bytes.Equal(got[:header], p[:header]) {
+			t.Fatalf("trial %d: header bytes not verbatim", trial)
+		}
+		worst := 0.0
+		for i := 0; i < count; i++ {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(p[header+8*i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(got[header+8*i:]))
+			if e := math.Abs(a - b); e > worst {
+				worst = e
+			}
+		}
+		if worst > bound {
+			t.Fatalf("trial %d: actual error %g exceeds bound %g", trial, worst, bound)
+		}
+		if worst > res.MaxError {
+			t.Fatalf("trial %d: actual error %g exceeds reported %g", trial, worst, res.MaxError)
+		}
+		if ratio := float64(len(p)) / float64(len(res.Frame)); ratio < 1.5 {
+			t.Fatalf("trial %d: quantize ratio %.2fx (bound %g over scale %g)", trial, ratio, bound, scale)
+		}
+	}
+}
+
+// TestQuantizeDefaultBound: the default relative bound packs to ~13
+// bits per value, comfortably over 3x.
+func TestQuantizeDefaultBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRegistry()
+	p := fieldLike(rng, 76, 8192, func(i int) float64 { return rng.NormFloat64() })
+	res, err := r.Encode(Spec{ID: Quantize}, "q", 1, p, 76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(p)) / float64(len(res.Frame))
+	t.Logf("default quantize: %.2fx (%d -> %d bytes), max err %g", ratio, len(p), len(res.Frame), res.MaxError)
+	if ratio < 3 {
+		t.Fatalf("default quantize ratio %.2fx, want >= 3x", ratio)
+	}
+	got := decodeOK(t, r, res, Quantize)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 8192; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p[76+8*i:]))
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	bound := DefaultRelError * (hi - lo)
+	for i := 0; i < 8192; i++ {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(p[76+8*i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(got[76+8*i:]))
+		if math.Abs(a-b) > bound {
+			t.Fatalf("value %d: error %g over default bound %g", i, math.Abs(a-b), bound)
+		}
+	}
+}
+
+// TestQuantizeNonFiniteFallsBackLiteral: NaN/Inf payloads round-trip
+// bit-exactly through the literal fallback.
+func TestQuantizeNonFiniteFallsBackLiteral(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := NewRegistry()
+	p := fieldLike(rng, 16, 128, func(i int) float64 {
+		if i == 77 {
+			return math.NaN()
+		}
+		return float64(i)
+	})
+	res, err := r.Encode(Spec{ID: Quantize}, "q", 1, p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError != 0 {
+		t.Fatalf("literal fallback reported error %g", res.MaxError)
+	}
+	if got := decodeOK(t, r, res, Quantize); !bytes.Equal(got, p) {
+		t.Fatal("literal fallback not bit-exact")
+	}
+}
+
+// TestQuantizeConstantField: a constant tail packs to one bit per
+// value with zero error.
+func TestQuantizeConstantField(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := NewRegistry()
+	p := fieldLike(rng, 8, 1024, func(int) float64 { return 3.25 })
+	res, err := r.Encode(Spec{ID: Quantize}, "q", 1, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError != 0 {
+		t.Fatalf("constant field error %g, want 0", res.MaxError)
+	}
+	if got := decodeOK(t, r, res, Quantize); !bytes.Equal(got, p) {
+		t.Fatal("constant field must reconstruct exactly")
+	}
+}
+
+// TestSubsampleRefine: the coarse frame reconstructs by sample-and-
+// hold within the reported error, and ApplyRefinement restores the
+// exact payload on demand.
+func TestSubsampleRefine(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := NewRegistry()
+	key := Key("viz", 2)
+	p := fieldLike(rng, 76, 4000, func(i int) float64 { return math.Cos(float64(i) / 30) })
+	res, err := r.Encode(Spec{ID: Subsample, Stride: 4}, key, 7, p, 76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(p)) / float64(len(res.Frame)); ratio < 3 {
+		t.Fatalf("stride-4 subsample ratio %.2fx, want >= 3x", ratio)
+	}
+	got := decodeOK(t, r, res, Subsample)
+	worst := 0.0
+	for i := 0; i < 4000; i++ {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(p[76+8*i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(got[76+8*i:]))
+		if e := math.Abs(a - b); e > worst {
+			worst = e
+		}
+	}
+	if worst > res.MaxError {
+		t.Fatalf("sample-and-hold error %g exceeds reported %g", worst, res.MaxError)
+	}
+	if err := r.ApplyRefinement(key, 7, got); err != nil {
+		t.Fatalf("refine: %v", err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("refined payload must be bit-exact")
+	}
+	if err := r.ApplyRefinement(key, 99, got); !errors.Is(err, ErrNoRefinement) {
+		t.Fatalf("missing refinement: %v, want ErrNoRefinement", err)
+	}
+}
+
+// TestIdentitySpecReturnsNoFrame: the identity spec encodes to a nil
+// frame, telling the transport to register raw bytes unchanged.
+func TestIdentitySpecReturnsNoFrame(t *testing.T) {
+	r := NewRegistry()
+	res, err := r.Encode(Spec{}, "k", 1, []byte{1, 2, 3}, 0)
+	if err != nil || res.Frame != nil {
+		t.Fatalf("identity encode = (%v, %v), want nil frame", res.Frame, err)
+	}
+}
+
+// TestDecodeTypedErrors: the malformed-frame taxonomy returns the
+// right sentinel for each defect, never panicking.
+func TestDecodeTypedErrors(t *testing.T) {
+	r := NewRegistry()
+	p := fieldLike(rand.New(rand.NewSource(11)), 16, 64, func(i int) float64 { return float64(i) })
+	res, err := r.Encode(Spec{ID: Quantize}, "k", 1, p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := append([]byte(nil), res.Frame...)
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"short", func(f []byte) []byte { return f[:4] }, ErrBadFrame},
+		{"magic", func(f []byte) []byte { f[0] = 0; return f }, ErrBadFrame},
+		{"version", func(f []byte) []byte { f[2] = 9; return f }, ErrBadFrame},
+		{"codec-id", func(f []byte) []byte { f[3] = 200; return f }, ErrUnknownCodec},
+		{"meta-overrun", func(f []byte) []byte {
+			binary.LittleEndian.PutUint32(f[8:12], uint32(len(f)))
+			return f
+		}, ErrTruncated},
+		{"truncated-body", func(f []byte) []byte { return f[:len(f)-3] }, ErrTruncated},
+		{"raw-size", func(f []byte) []byte {
+			binary.LittleEndian.PutUint32(f[4:8], uint32(len(p)+8))
+			return f
+		}, ErrTruncated},
+	}
+	for _, tc := range cases {
+		f := tc.mut(append([]byte(nil), good...))
+		if _, _, err := r.Decode(f); !errors.Is(err, tc.want) {
+			t.Errorf("%s: decode = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestStoreRetention: the base store keeps the newest baseRetention
+// versions per key and recycles evicted buffers.
+func TestStoreRetention(t *testing.T) {
+	s := store{m: make(map[string][]storeEntry)}
+	for v := 1; v <= baseRetention+5; v++ {
+		s.put("k", v, []byte{byte(v)})
+	}
+	if s.with("k", 1, func([]byte) {}) {
+		t.Fatal("version 1 must be evicted")
+	}
+	ok := s.with("k", baseRetention+5, func(b []byte) {
+		if b[0] != byte(baseRetention+5) {
+			t.Fatal("wrong payload retained")
+		}
+	})
+	if !ok {
+		t.Fatal("newest version must be resident")
+	}
+	if len(s.m["k"]) != baseRetention {
+		t.Fatalf("retained %d entries, want %d", len(s.m["k"]), baseRetention)
+	}
+}
+
+// TestRLEZeroRoundTrip exercises the run-length layer directly on
+// pathological shapes: all zeros, no zeros, alternating runs.
+func TestRLEZeroRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	shapes := [][]byte{
+		make([]byte, 1000),
+		func() []byte { b := make([]byte, 1000); rng.Read(b); return b }(),
+		func() []byte {
+			b := make([]byte, 1000)
+			for i := range b {
+				if i/7%2 == 0 {
+					b[i] = byte(i)
+				}
+			}
+			return b
+		}(),
+		{},
+		{0},
+		{1},
+	}
+	for i, src := range shapes {
+		dst := make([]byte, len(src)+2*len(src)/3+64)
+		n, ok := rleEncodeZero(dst, src)
+		if !ok {
+			continue // inflation fallback is exercised elsewhere
+		}
+		out := make([]byte, len(src))
+		if err := rleDecodeZero(out, dst[:n]); err != nil {
+			t.Fatalf("shape %d: decode: %v", i, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("shape %d: round trip broken", i)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"insitu/internal/bufpool"
+)
+
+// The quantize codec bit-packs the float64 tail of a payload under an
+// absolute max-error bound: values are mapped onto a uniform grid of
+// 2^bits levels spanning the payload's [min, max], with bits chosen as
+// the smallest width whose half-step quantization error satisfies the
+// bound. Bytes before the float tail (marshal headers: name, box,
+// count) travel verbatim. Payloads containing non-finite values, or
+// needing more than 32 bits per value, fall back to a literal frame so
+// the error bound is honored unconditionally (a literal frame has
+// error 0).
+//
+// Quantize metadata:
+//
+//	[0]     mode: 0 literal, 1 packed
+//	[1:5]   float-tail offset, uint32
+//	[5]     bits per value (1..32)
+//	[6:14]  grid origin (min value), float64
+//	[14:22] grid step, float64
+//
+// in packed mode; literal mode carries only [0].
+const (
+	quantLiteral = 0
+	quantPacked  = 1
+
+	quantMetaLen = 1 + 4 + 1 + 8 + 8
+	maxQuantBits = 32
+)
+
+func encodeQuantize(spec Spec, raw []byte, floatOff int) (Result, error) {
+	count, err := checkTail(raw, floatOff)
+	if err != nil {
+		return Result{}, err
+	}
+	if count == 0 {
+		return quantLiteralFrame(raw), nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	finite := true
+	for i := 0; i < count; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(raw[floatOff+8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			finite = false
+			break
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if !finite {
+		return quantLiteralFrame(raw), nil
+	}
+	rng := hi - lo
+	maxErr := spec.MaxError
+	if maxErr <= 0 {
+		maxErr = DefaultRelError * rng
+	}
+	bits := 1
+	for bits <= maxQuantBits {
+		levels := float64(uint64(1)<<uint(bits) - 1)
+		if rng == 0 || rng/levels/2 <= maxErr {
+			break
+		}
+		bits++
+	}
+	if bits > maxQuantBits {
+		return quantLiteralFrame(raw), nil
+	}
+	levels := uint64(1)<<uint(bits) - 1
+	step := 0.0
+	if rng > 0 {
+		step = rng / float64(levels)
+	}
+
+	packedLen := (count*bits + 7) / 8
+	frame := newFrame(Quantize, len(raw), quantMetaLen, floatOff+packedLen)
+	meta := frame[headerSize : headerSize+quantMetaLen]
+	meta[0] = quantPacked
+	binary.LittleEndian.PutUint32(meta[1:5], uint32(floatOff))
+	meta[5] = byte(bits)
+	binary.LittleEndian.PutUint64(meta[6:14], math.Float64bits(lo))
+	binary.LittleEndian.PutUint64(meta[14:22], math.Float64bits(step))
+	body := frame[headerSize+quantMetaLen:]
+	copy(body, raw[:floatOff])
+
+	// Bit-pack LSB-first through a 64-bit accumulator, tracking the
+	// actual worst-case reconstruction error for the metrics surface.
+	pk := body[floatOff:]
+	for i := range pk {
+		pk[i] = 0
+	}
+	var acc uint64
+	accBits := 0
+	out := 0
+	actualErr := 0.0
+	for i := 0; i < count; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(raw[floatOff+8*i:]))
+		var q uint64
+		if step > 0 {
+			q = uint64(math.Round((v - lo) / step))
+			if q > levels {
+				q = levels
+			}
+		}
+		if e := math.Abs(v - (lo + float64(q)*step)); e > actualErr {
+			actualErr = e
+		}
+		acc |= q << uint(accBits)
+		accBits += bits
+		for accBits >= 8 {
+			pk[out] = byte(acc)
+			out++
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	if accBits > 0 {
+		pk[out] = byte(acc)
+		out++
+	}
+	return Result{Frame: frame[:headerSize+quantMetaLen+floatOff+out], MaxError: actualErr}, nil
+}
+
+// quantLiteralFrame wraps raw verbatim in a quantize frame (error 0).
+func quantLiteralFrame(raw []byte) Result {
+	frame := newFrame(Quantize, len(raw), 1, len(raw))
+	frame[headerSize] = quantLiteral
+	copy(frame[headerSize+1:], raw)
+	return Result{Frame: frame}
+}
+
+func decodeQuantize(rawSize int, meta, body []byte) ([]byte, error) {
+	if len(meta) < 1 {
+		return nil, fmt.Errorf("%w: empty quantize meta", ErrBadMeta)
+	}
+	switch meta[0] {
+	case quantLiteral:
+		if len(body) != rawSize {
+			return nil, fmt.Errorf("%w: literal body %d bytes, raw size %d", ErrSizeMismatch, len(body), rawSize)
+		}
+		raw := bufpool.Get(rawSize)
+		copy(raw, body)
+		return raw, nil
+	case quantPacked:
+	default:
+		return nil, fmt.Errorf("%w: quantize mode %d", ErrBadMeta, meta[0])
+	}
+	if len(meta) != quantMetaLen {
+		return nil, fmt.Errorf("%w: quantize meta %d bytes", ErrBadMeta, len(meta))
+	}
+	floatOff := int(binary.LittleEndian.Uint32(meta[1:5]))
+	bits := int(meta[5])
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(meta[6:14]))
+	step := math.Float64frombits(binary.LittleEndian.Uint64(meta[14:22]))
+	if bits < 1 || bits > maxQuantBits {
+		return nil, fmt.Errorf("%w: %d bits per value", ErrBadMeta, bits)
+	}
+	if floatOff < 0 || floatOff > rawSize || (rawSize-floatOff)%8 != 0 {
+		return nil, fmt.Errorf("%w: float tail at %d of raw %d", ErrBadMeta, floatOff, rawSize)
+	}
+	count := (rawSize - floatOff) / 8
+	packedLen := (count*bits + 7) / 8
+	if len(body) != floatOff+packedLen {
+		return nil, fmt.Errorf("%w: packed body %d bytes, want %d", ErrTruncated, len(body), floatOff+packedLen)
+	}
+	raw := bufpool.Get(rawSize)
+	copy(raw, body[:floatOff])
+	pk := body[floatOff:]
+	mask := uint64(1)<<uint(bits) - 1
+	var acc uint64
+	accBits := 0
+	in := 0
+	for i := 0; i < count; i++ {
+		for accBits < bits {
+			acc |= uint64(pk[in]) << uint(accBits)
+			in++
+			accBits += 8
+		}
+		q := acc & mask
+		acc >>= uint(bits)
+		accBits -= bits
+		v := lo + float64(q)*step
+		binary.LittleEndian.PutUint64(raw[floatOff+8*i:], math.Float64bits(v))
+	}
+	return raw, nil
+}

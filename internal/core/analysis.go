@@ -91,6 +91,17 @@ type ShapedStage interface {
 	InSituStageShaped(ctx *Ctx, level int) ([]byte, error)
 }
 
+// QuantizableStage is an optional extension of hybrid analyses whose
+// intermediate payload carries a float64 tail the lossy transfer-path
+// codecs (quantize, subsample) can transform. PayloadFloatTail locates
+// the tail within one payload the stage produced, returning ok false
+// when this particular payload has no transformable tail (the codec
+// layer then uses an exact encoding instead). Analyses that do not
+// implement QuantizableStage skip the ladder's quantized rung.
+type QuantizableStage interface {
+	PayloadFloatTail(payload []byte) (int, bool)
+}
+
 // InSituFallback is an optional extension of hybrid analyses: when the
 // pipeline decides the transit path is unhealthy (partition detected by
 // the health probe, or a task dead-lettered), it runs RunFallback —

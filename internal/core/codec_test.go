@@ -1,0 +1,113 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"insitu/internal/codec"
+	"insitu/internal/render"
+)
+
+// runCodecPipeline runs a 2x2-rank hybrid viz+stats pipeline with the
+// given codec config and returns the report. The viz route stages at
+// full resolution (factor 1) so the payload's float tail dominates the
+// marshal header; kernelRate damps the sim's random ignition kernels
+// so consecutive timesteps stay close (the regime delta exploits).
+func runCodecPipeline(t *testing.T, codecs map[string]codec.Spec, steps int, kernelRate float64) *Report {
+	t.Helper()
+	simCfg := testSimConfig(2, 2, 1)
+	simCfg.KernelRate = kernelRate
+	cfg := DefaultConfig(simCfg)
+	cfg.Codecs = codecs
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Register(NewVizHybrid(16, 12, 1))
+	p.Register(&StatsHybrid{Vars: []string{"T"}, EveryN: 1})
+	rep, err := p.Run(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := p.PinnedRegions(); n != 0 {
+		t.Fatalf("%d regions pinned after drain", n)
+	}
+	return rep
+}
+
+// TestCodecIdentityMatchesLegacyPath: an explicit identity codec
+// config reproduces the no-config pipeline exactly — same results,
+// same bytes on the wire — so the codec layer is a strict no-op until
+// a codec is selected.
+func TestCodecIdentityMatchesLegacyPath(t *testing.T) {
+	const steps = 3
+	plain := runCodecPipeline(t, nil, steps, 0.6)
+	ident := runCodecPipeline(t, map[string]codec.Spec{"*": {ID: codec.Identity}}, steps, 0.6)
+	if plain.Net.BytesMoved != ident.Net.BytesMoved {
+		t.Fatalf("identity codec moved %d wire bytes, legacy moved %d",
+			ident.Net.BytesMoved, plain.Net.BytesMoved)
+	}
+	if !reflect.DeepEqual(plain.Results, ident.Results) {
+		t.Fatal("identity codec changed analysis results")
+	}
+	if ident.Codec.RawBytes != ident.Codec.EncodedBytes {
+		t.Fatalf("identity must pin raw bytes unchanged: %+v", ident.Codec)
+	}
+}
+
+// TestCodecDeltaExact: delta framing on every route reproduces the
+// plain run's results bit-for-bit (the codec is exact) while moving
+// fewer bytes over the interconnect.
+func TestCodecDeltaExact(t *testing.T) {
+	const steps = 4
+	plain := runCodecPipeline(t, nil, steps, 0.05)
+	delta := runCodecPipeline(t, map[string]codec.Spec{"*": {ID: codec.Delta}}, steps, 0.05)
+	if !reflect.DeepEqual(plain.Results, delta.Results) {
+		t.Fatal("delta-framed run must produce identical results")
+	}
+	if delta.Codec.MaxError != 0 {
+		t.Fatalf("delta recorded max error %g, want 0", delta.Codec.MaxError)
+	}
+	if delta.Codec.RawBytes == 0 || delta.Codec.EncodedBytes >= delta.Codec.RawBytes {
+		t.Fatalf("delta produced no byte economy: %+v", delta.Codec)
+	}
+	if delta.Net.BytesMoved >= plain.Net.BytesMoved {
+		t.Fatalf("delta moved %d wire bytes, plain moved %d — encoded frames must shrink traffic",
+			delta.Net.BytesMoved, plain.Net.BytesMoved)
+	}
+	t.Logf("delta: wire %d -> %d bytes, codec ratio %.2fx",
+		plain.Net.BytesMoved, delta.Net.BytesMoved, delta.Codec.Ratio())
+}
+
+// TestCodecQuantizeVizPath: quantizing the viz route cuts its
+// bytes-on-wire by >= 3x at a bounded, recorded reconstruction error,
+// and every step still renders a real image on the transit path.
+func TestCodecQuantizeVizPath(t *testing.T) {
+	const steps = 4
+	plain := runCodecPipeline(t, nil, steps, 0.6)
+	quant := runCodecPipeline(t, map[string]codec.Spec{
+		"hybrid visualization": {ID: codec.Quantize},
+	}, steps, 0.6)
+	for s := 1; s <= steps; s++ {
+		if _, ok := quant.Result("hybrid visualization", s).(*render.Image); !ok {
+			t.Fatalf("step %d: quantized viz did not render on the transit path: %T",
+				s, quant.Result("hybrid visualization", s))
+		}
+	}
+	// Stats results are untouched (that route stayed identity).
+	if !reflect.DeepEqual(plain.Results["hybrid statistics"], quant.Results["hybrid statistics"]) {
+		t.Fatal("quantizing the viz route must not perturb the stats route")
+	}
+	if r := quant.Codec.Ratio(); r < 3 {
+		t.Fatalf("quantized viz ratio %.2fx, want >= 3x", r)
+	}
+	if quant.Codec.MaxError <= 0 {
+		t.Fatal("quantize must record its bounded reconstruction error")
+	}
+	if quant.Net.BytesMoved >= plain.Net.BytesMoved {
+		t.Fatalf("quantize moved %d wire bytes, plain moved %d",
+			quant.Net.BytesMoved, plain.Net.BytesMoved)
+	}
+	t.Logf("quantize: wire %d -> %d bytes, ratio %.2fx, max err %g",
+		plain.Net.BytesMoved, quant.Net.BytesMoved, quant.Codec.Ratio(), quant.Codec.MaxError)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"insitu/internal/bufpool"
+	"insitu/internal/codec"
 	"insitu/internal/comm"
 	"insitu/internal/dart"
 	"insitu/internal/dataspaces"
@@ -40,10 +41,18 @@ type Config struct {
 	MaxTaskAttempts int
 	// Overload, when non-nil, enables the graded overload-control
 	// plane: credit-based admission, a per-analysis-route circuit
-	// breaker, and the admission ladder (full → shaped → in-situ →
-	// shed) replace the single StepBudget probe as the degradation
-	// trigger. Nil keeps the legacy binary probe-and-fallback behavior.
+	// breaker, and the admission ladder (full → delta → quantized →
+	// shaped → in-situ → shed) replace the single StepBudget probe as
+	// the degradation trigger. Nil keeps the legacy binary
+	// probe-and-fallback behavior.
 	Overload *overload.Config
+	// Codecs selects the default transfer-path codec per hybrid route:
+	// the key is an analysis name, with "*" as the fallback for routes
+	// not named. Unlisted routes (and a nil map) use the identity
+	// codec, which registers raw payloads byte-for-byte as before. The
+	// admission ladder's delta/quantized rungs override the configured
+	// spec for the steps they govern.
+	Codecs map[string]codec.Spec
 }
 
 // DefaultConfig mirrors the paper's resource ratios at laptop scale.
@@ -63,6 +72,7 @@ type Pipeline struct {
 	ds     *dataspaces.Service
 	area   *staging.Area
 	col    *metrics.Collector
+	codecs *codec.Registry
 
 	analyses []Analysis
 
@@ -137,9 +147,14 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		fabric:  fabric,
 		ds:      ds,
 		col:     metrics.NewCollector(),
+		codecs:  codec.NewRegistry(),
 		results: make(map[string]map[int]any),
 		eps:     make(map[int]*dart.Endpoint),
 	}
+	// The registry is attached unconditionally: with no Codecs config
+	// every registration resolves to the identity spec, which pins raw
+	// bytes exactly as RegisterMem did.
+	ds.SetCodecs(p.codecs)
 	if cfg.Overload != nil {
 		ov := cfg.Overload.WithDefaults()
 		p.ov = &ov
@@ -219,8 +234,11 @@ func (p *Pipeline) EnableObs() *obs.Plane {
 	p.col.PublishTo(reg)
 	// Admission counters are registered for every ladder level up front
 	// — even runs without overload control expose the same families.
-	admitCtr := make(map[overload.Level]*obs.Counter, 4)
-	for _, lv := range []overload.Level{overload.LevelFull, overload.LevelShaped, overload.LevelInSitu, overload.LevelShed} {
+	admitCtr := make(map[overload.Level]*obs.Counter, 6)
+	for _, lv := range []overload.Level{
+		overload.LevelFull, overload.LevelDelta, overload.LevelQuantized,
+		overload.LevelShaped, overload.LevelInSitu, overload.LevelShed,
+	} {
 		admitCtr[lv] = reg.Counter("admission_decisions_total",
 			"admission ladder verdicts by level", obs.Str("level", lv.String()))
 	}
@@ -292,6 +310,14 @@ func (p *Pipeline) Status() map[string]any {
 		"queue_depth":  p.ds.QueueDepth(),
 		"free_buckets": p.ds.FreeBuckets(),
 		"resilience":   p.resilience(),
+	}
+	if cs := p.fabric.CodecStats(); cs.RawBytes > 0 {
+		st["codec"] = map[string]any{
+			"raw_bytes":     cs.RawBytes,
+			"encoded_bytes": cs.EncodedBytes,
+			"ratio":         cs.Ratio(),
+			"max_error":     cs.MaxError,
+		}
 	}
 	if br := p.BreakerStates(); len(br) > 0 {
 		m := make(map[string]string, len(br))
@@ -366,6 +392,7 @@ type Report struct {
 	Net        netsim.Stats
 	Resilience metrics.Resilience
 	Overload   metrics.Overload
+	Codec      dart.CodecStats
 	Errs       []error
 }
 
@@ -532,6 +559,7 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 		Net:        p.net.Stats(),
 		Resilience: p.col.Resilience(),
 		Overload:   p.col.Overload(),
+		Codec:      p.fabric.CodecStats(),
 		Errs:       append([]error{}, p.runErrs...),
 	}
 	if len(rep.Errs) > 0 {
@@ -676,6 +704,15 @@ func (p *Pipeline) admitStep(ep *dart.Endpoint, step int) []admitDecision {
 		level := rs.ladder.Observe(sig)
 		reason := fmt.Sprintf("%s: breaker %s, queue %.1f, latency %s",
 			level, cur, sig.QueueDepth, sig.Latency.Round(time.Microsecond))
+		// Analyses whose payload exposes no float tail skip the
+		// quantized rung (the delta rung applies to every route: delta
+		// frames are exact and self-contained).
+		if level == overload.LevelQuantized {
+			if _, quantizes := a.(QuantizableStage); !quantizes {
+				level = overload.LevelShaped
+				reason = "shaped: no quantizable stage; " + reason
+			}
+		}
 		// Analyses without a shaped stage skip that rung.
 		if level == overload.LevelShaped {
 			if _, shapes := a.(ShapedStage); !shapes {
@@ -737,6 +774,15 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 		Owned:  rk.OwnedBox(),
 		Decomp: p.sim.Decomp(),
 		State:  make(map[string]any),
+	}
+
+	// Per-route codec keys (analysis × rank — one producer stream
+	// each), precomputed so the hot loop does not build strings.
+	codecKeys := make(map[string]string, len(p.analyses))
+	for _, a := range p.analyses {
+		if _, ok := a.(hybridStage); ok {
+			codecKeys[a.Name()] = codec.Key(a.Name(), r.ID())
+		}
 	}
 
 	for step := 1; step <= steps; step++ {
@@ -830,6 +876,14 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 						if r.ID() == 0 {
 							p.col.AddShapedStep()
 						}
+					case overload.LevelDelta:
+						if r.ID() == 0 {
+							p.col.AddDeltaStep()
+						}
+					case overload.LevelQuantized:
+						if r.ID() == 0 {
+							p.col.AddQuantizedStep()
+						}
 					}
 				}
 				anyHybrid = true
@@ -846,7 +900,15 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 					p.recordErr(fmt.Errorf("core: in-situ stage %s step %d rank %d: %w", an.Name(), step, r.ID(), err))
 					continue
 				}
-				h := ep.RegisterMem(payload)
+				spec := p.codecSpec(an.Name())
+				if dec, ok := decisions[an.Name()]; ok {
+					spec = ladderSpec(dec.Level, spec)
+				}
+				h, err := p.registerPayload(ep, an, spec, codecKeys[an.Name()], step, payload)
+				if err != nil {
+					p.recordErr(fmt.Errorf("core: register %s step %d rank %d: %w", an.Name(), step, r.ID(), err))
+					continue
+				}
 				p.ds.Put(dataspaces.Descriptor{
 					Name:    an.Name(),
 					Version: step,
@@ -901,6 +963,69 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 		p.col.RecordStepWall(step, time.Since(stepStart))
 	}
 	return nil
+}
+
+// codecSpec resolves the configured transfer-path codec for a route:
+// the route's own entry, then the "*" fallback, then identity.
+func (p *Pipeline) codecSpec(name string) codec.Spec {
+	if s, ok := p.cfg.Codecs[name]; ok {
+		return s
+	}
+	if s, ok := p.cfg.Codecs["*"]; ok {
+		return s
+	}
+	return codec.Spec{}
+}
+
+// ladderSpec maps an admission level onto the codec spec for the step:
+// the delta and quantized rungs override the configured codec, other
+// levels keep it. A quantized rung inherits the route's configured
+// error bound when the config already selects quantize.
+func ladderSpec(level overload.Level, cfg codec.Spec) codec.Spec {
+	switch level {
+	case overload.LevelDelta:
+		return codec.Spec{ID: codec.Delta}
+	case overload.LevelQuantized:
+		q := codec.Spec{ID: codec.Quantize}
+		if cfg.ID == codec.Quantize {
+			q.MaxError = cfg.MaxError
+		}
+		return q
+	}
+	return cfg
+}
+
+// registerPayload encodes one intermediate payload under spec and pins
+// the result for the staging tier to pull. Lossy codecs need the
+// payload's float-tail offset from the analysis; when the analysis
+// cannot provide one for this payload, the spec downgrades to delta —
+// exact and self-contained — rather than reinterpreting opaque bytes
+// as floats. When the encode produced a frame, the producer's marshal
+// buffer is recycled immediately (the frame is what stays pinned);
+// identity registrations keep the payload pinned exactly as before.
+func (p *Pipeline) registerPayload(ep *dart.Endpoint, an hybridStage, spec codec.Spec, key string, step int, payload []byte) (dart.MemHandle, error) {
+	floatOff := 0
+	if spec.ID == codec.Quantize || spec.ID == codec.Subsample {
+		off := -1
+		if qa, ok := an.(QuantizableStage); ok {
+			if o, ok2 := qa.PayloadFloatTail(payload); ok2 {
+				off = o
+			}
+		}
+		if off < 0 {
+			spec = codec.Spec{ID: codec.Delta}
+		} else {
+			floatOff = off
+		}
+	}
+	er, err := ep.RegisterMemEncoded(spec, key, step, payload, floatOff)
+	if err != nil {
+		return dart.MemHandle{}, err
+	}
+	if er.Codec != codec.Identity {
+		bufpool.Put(payload)
+	}
+	return er.Handle, nil
 }
 
 // shedSubmitted disposes of a step whose intermediate payloads were

@@ -163,6 +163,14 @@ func (v *VizHybrid) stage(ctx *Ctx, level int) ([]byte, error) {
 	return payload, nil
 }
 
+// PayloadFloatTail implements QuantizableStage: the staged payload is
+// one field marshal (name, box, count, then the float64 tail), so the
+// lossy transfer-path codecs can transform the sample data while the
+// header travels verbatim.
+func (v *VizHybrid) PayloadFloatTail(payload []byte) (int, bool) {
+	return grid.FloatTailOffset(payload)
+}
+
 // RunFallback implements InSituFallback: when the transit path is
 // degraded the frame renders fully in-situ — full-resolution
 // ray-casting plus gather/composite — instead of staging down-sampled

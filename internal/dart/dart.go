@@ -24,12 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"insitu/internal/bufpool"
+	"insitu/internal/codec"
 	"insitu/internal/netsim"
 	"insitu/internal/obs"
 )
@@ -56,6 +58,13 @@ var (
 	// ErrRegionOverflow is returned by Put when the payload exceeds
 	// the destination region.
 	ErrRegionOverflow = errors.New("dart: payload exceeds region size")
+	// ErrFramedRegion is returned by Put against a codec-framed region:
+	// frames are immutable once registered (a write would desynchronize
+	// the frame from the codec state it references).
+	ErrFramedRegion = errors.New("dart: region holds an encoded frame")
+	// ErrNoCodecs is returned when a codec operation is needed but no
+	// codec registry is attached to the fabric.
+	ErrNoCodecs = errors.New("dart: no codec registry attached")
 )
 
 // Retriable reports whether an error is a transient transport fault
@@ -173,6 +182,11 @@ type Fabric struct {
 	crcFails  atomic.Int64
 	deadlines atomic.Int64
 
+	codecs     atomic.Pointer[codec.Registry]
+	rawBytes   atomic.Int64
+	encBytes   atomic.Int64
+	maxErrBits atomic.Uint64
+
 	obs atomic.Pointer[fabricObs]
 }
 
@@ -188,6 +202,8 @@ type fabricObs struct {
 	getByte *obs.Counter
 	putByte *obs.Counter
 	modeled *obs.Histogram
+	encSec  [codec.NumIDs]*obs.Histogram
+	decSec  [codec.NumIDs]*obs.Histogram
 }
 
 // SetPlane attaches the observability plane: every Get/Put records a
@@ -217,6 +233,27 @@ func (f *Fabric) SetPlane(pl *obs.Plane) {
 		func() float64 { return float64(f.crcFails.Load()) })
 	reg.CounterFunc("dart_deadline_exceeded_total", "operations abandoned at their caller deadline",
 		func() float64 { return float64(f.deadlines.Load()) })
+	for i := 0; i < codec.NumIDs; i++ {
+		id := codec.ID(i)
+		fo.encSec[i] = reg.Histogram("dart_codec_encode_seconds",
+			"transfer-path codec encode latency by codec", obs.LatencyBuckets, obs.Str("codec", id.String()))
+		fo.decSec[i] = reg.Histogram("dart_codec_decode_seconds",
+			"transfer-path codec decode latency by codec", obs.LatencyBuckets, obs.Str("codec", id.String()))
+	}
+	reg.CounterFunc("dart_codec_raw_bytes_total", "pre-encode payload bytes offered to the transfer-path codecs",
+		func() float64 { return float64(f.rawBytes.Load()) })
+	reg.CounterFunc("dart_codec_encoded_bytes_total", "bytes pinned for the wire after codec encode",
+		func() float64 { return float64(f.encBytes.Load()) })
+	reg.GaugeFunc("dart_codec_compression_ratio", "raw/encoded byte ratio across codec registrations",
+		func() float64 {
+			enc := f.encBytes.Load()
+			if enc == 0 {
+				return 1
+			}
+			return float64(f.rawBytes.Load()) / float64(enc)
+		})
+	reg.GaugeFunc("dart_codec_max_reconstruction_error", "worst bounded reconstruction error introduced by a lossy encode",
+		func() float64 { return math.Float64frombits(f.maxErrBits.Load()) })
 	f.obs.Store(fo)
 }
 
@@ -297,6 +334,63 @@ func (f *Fabric) Stats() Stats {
 	}
 }
 
+// SetCodecs attaches the codec registry used by RegisterMemEncoded and
+// by Get when it pulls a framed region. Producers and consumers of the
+// same fabric share one registry (it holds the delta base store). Call
+// before traffic starts; a nil registry detaches codecs.
+func (f *Fabric) SetCodecs(r *codec.Registry) { f.codecs.Store(r) }
+
+// Codecs returns the attached codec registry, or nil.
+func (f *Fabric) Codecs() *codec.Registry { return f.codecs.Load() }
+
+// CodecStats is a snapshot of the fabric's transfer-path codec
+// economy.
+type CodecStats struct {
+	// RawBytes is the total pre-encode payload size offered to
+	// RegisterMemEncoded.
+	RawBytes int64
+	// EncodedBytes is the total size actually pinned for the wire.
+	EncodedBytes int64
+	// MaxError is the worst bounded reconstruction error any lossy
+	// encode introduced (0 when only exact codecs ran).
+	MaxError float64
+}
+
+// Ratio returns the raw/encoded compression ratio (1 when nothing has
+// been encoded).
+func (cs CodecStats) Ratio() float64 {
+	if cs.EncodedBytes == 0 {
+		return 1
+	}
+	return float64(cs.RawBytes) / float64(cs.EncodedBytes)
+}
+
+// CodecStats returns a snapshot of the codec byte economy.
+func (f *Fabric) CodecStats() CodecStats {
+	return CodecStats{
+		RawBytes:     f.rawBytes.Load(),
+		EncodedBytes: f.encBytes.Load(),
+		MaxError:     math.Float64frombits(f.maxErrBits.Load()),
+	}
+}
+
+// noteMaxError folds one encode's reconstruction error into the
+// fabric-wide maximum.
+func (f *Fabric) noteMaxError(e float64) {
+	if e <= 0 {
+		return
+	}
+	for {
+		old := f.maxErrBits.Load()
+		if e <= math.Float64frombits(old) {
+			return
+		}
+		if f.maxErrBits.CompareAndSwap(old, math.Float64bits(e)) {
+			return
+		}
+	}
+}
+
 // jitter returns a uniform draw in [0,1) for backoff decorrelation.
 func (f *Fabric) jitter() float64 {
 	f.jmu.Lock()
@@ -304,10 +398,13 @@ func (f *Fabric) jitter() float64 {
 	return f.jit.Float64()
 }
 
-// region is one pinned memory area plus its integrity checksum.
+// region is one pinned memory area plus its integrity checksum. framed
+// regions hold a codec frame that Get decodes transparently after CRC
+// verification; the checksum always covers the pinned (encoded) bytes.
 type region struct {
-	data []byte
-	crc  uint32
+	data   []byte
+	crc    uint32
+	framed bool
 }
 
 // Endpoint is one attached node: a simulation rank, a DataSpaces
@@ -393,13 +490,73 @@ func (ep *Endpoint) Messages() <-chan Message { return ep.msgs }
 // region's CRC32 is computed here, so mutating the buffer while pinned
 // makes subsequent pulls fail checksum verification — by design.
 func (ep *Endpoint) RegisterMem(data []byte) MemHandle {
+	return ep.registerMem(data, false)
+}
+
+func (ep *Endpoint) registerMem(data []byte, framed bool) MemHandle {
 	sum := crc32.ChecksumIEEE(data)
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	id := ep.nextReg
 	ep.nextReg++
-	ep.regions[id] = &region{data: data, crc: sum}
+	ep.regions[id] = &region{data: data, crc: sum, framed: framed}
 	return MemHandle{Endpoint: ep.id, Region: id, Size: len(data)}
+}
+
+// EncodedRegion describes one codec-framed registration.
+type EncodedRegion struct {
+	Handle MemHandle
+	// Codec is the codec that actually ran. Identity means the raw
+	// payload was pinned unframed (the spec asked for identity, or the
+	// codec chose to ship raw).
+	Codec codec.ID
+	// RawSize and WireSize are the payload's decoded and pinned sizes;
+	// modeled transfer latency scales with WireSize.
+	RawSize, WireSize int
+	// MaxError bounds the reconstruction error this encoding introduced
+	// (0 for exact codecs and literal fallbacks).
+	MaxError float64
+}
+
+// RegisterMemEncoded encodes raw under spec (via the fabric's codec
+// registry) and pins the result for remote pull; the consumer-side Get
+// decodes transparently. key/version name the producer stream for the
+// delta base store; floatOff locates the payload's float64 tail for
+// the lossy codecs (pass 0 when the payload has no known tail and use
+// an exact codec).
+//
+// Ownership: when the returned Codec is Identity, raw itself is pinned
+// and must stay stable until Release, exactly as with RegisterMem.
+// Otherwise the pinned bytes are a pooled frame owned by the fabric
+// (reclaimed on Release/Reclaim) and raw may be reused or recycled by
+// the caller immediately.
+func (ep *Endpoint) RegisterMemEncoded(spec codec.Spec, key string, version int, raw []byte, floatOff int) (EncodedRegion, error) {
+	cs := ep.f.codecs.Load()
+	if cs == nil {
+		return EncodedRegion{}, fmt.Errorf("dart: register encoded on endpoint %d: %w", ep.id, ErrNoCodecs)
+	}
+	start := time.Now()
+	res, err := cs.Encode(spec, key, version, raw, floatOff)
+	if err != nil {
+		return EncodedRegion{}, fmt.Errorf("dart: encode %s for %s@%d: %w", spec.ID, key, version, err)
+	}
+	if res.Frame == nil {
+		h := ep.registerMem(raw, false)
+		ep.f.rawBytes.Add(int64(len(raw)))
+		ep.f.encBytes.Add(int64(len(raw)))
+		if fo := ep.f.obs.Load(); fo != nil {
+			fo.encSec[codec.Identity].Observe(time.Since(start).Seconds())
+		}
+		return EncodedRegion{Handle: h, Codec: codec.Identity, RawSize: len(raw), WireSize: len(raw)}, nil
+	}
+	h := ep.registerMem(res.Frame, true)
+	ep.f.rawBytes.Add(int64(len(raw)))
+	ep.f.encBytes.Add(int64(len(res.Frame)))
+	ep.f.noteMaxError(res.MaxError)
+	if fo := ep.f.obs.Load(); fo != nil {
+		fo.encSec[spec.ID].Observe(time.Since(start).Seconds())
+	}
+	return EncodedRegion{Handle: h, Codec: spec.ID, RawSize: len(raw), WireSize: len(res.Frame), MaxError: res.MaxError}, nil
 }
 
 // Regions returns the number of currently pinned regions, used by
@@ -436,18 +593,19 @@ func (ep *Endpoint) Reclaim(h MemHandle) ([]byte, error) {
 	return r.data, nil
 }
 
-// region returns the pinned data and checksum for a region id.
-func (ep *Endpoint) region(id int) ([]byte, uint32, error) {
+// region returns the pinned data, checksum, and framing flag for a
+// region id.
+func (ep *Endpoint) region(id int) ([]byte, uint32, bool, error) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {
-		return nil, 0, fmt.Errorf("dart: endpoint %d: %w", ep.id, ErrUnregistered)
+		return nil, 0, false, fmt.Errorf("dart: endpoint %d: %w", ep.id, ErrUnregistered)
 	}
 	r, ok := ep.regions[id]
 	if !ok {
-		return nil, 0, fmt.Errorf("dart: region %d on endpoint %d: %w", id, ep.id, ErrRegionNotFound)
+		return nil, 0, false, fmt.Errorf("dart: region %d on endpoint %d: %w", id, ep.id, ErrRegionNotFound)
 	}
-	return r.data, r.crc, nil
+	return r.data, r.crc, r.framed, nil
 }
 
 // post delivers an event without ever blocking the transport: if the
@@ -545,7 +703,7 @@ func (ep *Endpoint) getOnce(h MemHandle) ([]byte, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	src, sum, err := owner.region(h.Region)
+	src, sum, framed, err := owner.region(h.Region)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -559,6 +717,26 @@ func (ep *Endpoint) getOnce(h MemHandle) ([]byte, time.Duration, error) {
 		bufpool.Put(data)
 		ep.f.crcFails.Add(1)
 		return nil, d, fmt.Errorf("dart: get %+v: %w", h, ErrChecksum)
+	}
+	if framed {
+		// The CRC above covered the encoded bytes, so the decoder only
+		// ever sees verified frames; corruption cannot masquerade as a
+		// decode problem. The wire buffer is recycled either way.
+		cs := ep.f.codecs.Load()
+		if cs == nil {
+			bufpool.Put(data)
+			return nil, d, fmt.Errorf("dart: get %+v: %w", h, ErrNoCodecs)
+		}
+		t0 := time.Now()
+		raw, id, derr := cs.Decode(data)
+		bufpool.Put(data)
+		if derr != nil {
+			return nil, d, fmt.Errorf("dart: get %+v: %w", h, derr)
+		}
+		if fo := ep.f.obs.Load(); fo != nil {
+			fo.decSec[id].Observe(time.Since(t0).Seconds())
+		}
+		data = raw
 	}
 	ev := Event{Type: EventGetDone, Handle: h, Bytes: len(src), Duration: d, Path: ep.f.net.Select(len(src))}
 	evSrc := ev
@@ -653,9 +831,12 @@ func (ep *Endpoint) putOnce(h MemHandle, data []byte) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	dst, _, err := owner.region(h.Region)
+	dst, _, framed, err := owner.region(h.Region)
 	if err != nil {
 		return 0, err
+	}
+	if framed {
+		return 0, fmt.Errorf("dart: put into region %d on endpoint %d: %w", h.Region, h.Endpoint, ErrFramedRegion)
 	}
 	if len(data) > len(dst) {
 		return 0, fmt.Errorf("dart: put of %d bytes into region of %d bytes: %w", len(data), len(dst), ErrRegionOverflow)

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"insitu/internal/codec"
 	"insitu/internal/dart"
 	"insitu/internal/grid"
 	"insitu/internal/obs"
@@ -120,6 +121,17 @@ func New(fabric *dart.Fabric, servers int) (*Service, error) {
 	}
 	return s, nil
 }
+
+// SetCodecs attaches a transfer-path codec registry to the service's
+// fabric, enabling encoded registrations (dart.RegisterMemEncoded) and
+// transparent decode on Get for every endpoint. The registry holds the
+// previous-version base store the delta codec encodes against; one
+// registry serves both sides of every route. Call before traffic
+// starts.
+func (s *Service) SetCodecs(r *codec.Registry) { s.fabric.SetCodecs(r) }
+
+// Codecs returns the fabric's attached codec registry, or nil.
+func (s *Service) Codecs() *codec.Registry { return s.fabric.Codecs() }
 
 // SetPlane attaches the observability plane: task submissions and
 // requeues record lifecycle events on the "queue" lane, and the

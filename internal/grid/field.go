@@ -276,6 +276,27 @@ func (f *Field) Marshal() []byte {
 	return f.AppendMarshal(make([]byte, 0, f.MarshalSize()))
 }
 
+// FloatTailOffset returns the byte offset of the float64 data tail
+// within a marshalled field payload, for transfer-path codecs that
+// transform the tail and carry the header verbatim. It reports ok
+// false when p is not a plausible field marshal (too short, or the
+// declared count does not fill the remaining bytes exactly).
+func FloatTailOffset(p []byte) (int, bool) {
+	if len(p) < 4 {
+		return 0, false
+	}
+	nameLen := int(binary.LittleEndian.Uint32(p[:4]))
+	off := 4 + nameLen + 7*8
+	if nameLen < 0 || off > len(p) {
+		return 0, false
+	}
+	n := int(binary.LittleEndian.Uint64(p[off-8:]))
+	if n < 0 || len(p)-off != 8*n {
+		return 0, false
+	}
+	return off, true
+}
+
 // UnmarshalField reconstructs a field from Marshal's output.
 func UnmarshalField(p []byte) (*Field, error) {
 	if len(p) < 4 {

@@ -66,6 +66,8 @@ type Resilience struct {
 // shed work, and how the per-route circuit breakers moved.
 type Overload struct {
 	CreditsDenied      int64 // credit acquisitions refused (account dry)
+	StepsDelta         int64 // analysis steps admitted with delta encoding
+	StepsQuantized     int64 // analysis steps admitted with quantized payload
 	StepsShaped        int64 // analysis steps admitted at reduced payload
 	StepsShed          int64 // analysis steps dropped with a shed marker
 	StepsFallback      int64 // analysis steps forced in-situ by the ladder
@@ -152,6 +154,22 @@ func (c *Collector) AddDegradedStep() {
 	c.res.DegradedSteps++
 }
 
+// AddDeltaStep counts one analysis step admitted with its payload
+// delta-encoded by the ladder (exact, fewer bytes on the wire).
+func (c *Collector) AddDeltaStep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.over.StepsDelta++
+}
+
+// AddQuantizedStep counts one analysis step admitted with its payload
+// quantized under a bounded error by the ladder.
+func (c *Collector) AddQuantizedStep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.over.StepsQuantized++
+}
+
 // AddShapedStep counts one analysis step admitted at a reduced
 // (shaped) payload level.
 func (c *Collector) AddShapedStep() {
@@ -182,6 +200,8 @@ func (c *Collector) AddOverloadFallback() {
 func (c *Collector) RecordOverload(o Overload) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	o.StepsDelta = c.over.StepsDelta
+	o.StepsQuantized = c.over.StepsQuantized
 	o.StepsShaped = c.over.StepsShaped
 	o.StepsShed = c.over.StepsShed
 	o.StepsFallback = c.over.StepsFallback
@@ -336,6 +356,12 @@ func (c *Collector) PublishTo(reg *obs.Registry) {
 	reg.CounterFunc("pipeline_degraded_steps_total",
 		"analysis steps that fell back fully in-situ or dead-lettered",
 		func() float64 { return float64(c.Resilience().DegradedSteps) })
+	reg.CounterFunc("pipeline_delta_steps_total",
+		"analysis steps admitted with delta-encoded payloads",
+		func() float64 { return float64(c.Overload().StepsDelta) })
+	reg.CounterFunc("pipeline_quantized_steps_total",
+		"analysis steps admitted with quantized payloads",
+		func() float64 { return float64(c.Overload().StepsQuantized) })
 	reg.CounterFunc("pipeline_shaped_steps_total",
 		"analysis steps admitted at a reduced (shaped) payload level",
 		func() float64 { return float64(c.Overload().StepsShaped) })

@@ -312,8 +312,17 @@ func (b *Breaker) RecordProbe(now time.Time, ok bool) {
 type Level int
 
 const (
-	// LevelFull runs the normal hybrid path.
+	// LevelFull runs the normal hybrid path with the route's configured
+	// codec.
 	LevelFull Level = iota
+	// LevelDelta runs the hybrid path with the full-resolution payload
+	// delta-encoded against the previous timestep — exact results,
+	// fewer bytes on the wire.
+	LevelDelta
+	// LevelQuantized runs the hybrid path with the payload's float tail
+	// quantized under a bounded error — full resolution, bounded
+	// precision loss, for analyses whose payload exposes a float tail.
+	LevelQuantized
 	// LevelShaped runs the hybrid path with a reduced intermediate
 	// payload (coarser downsample) for analyses that support shaping.
 	LevelShaped
@@ -330,6 +339,10 @@ func (l Level) String() string {
 	switch l {
 	case LevelFull:
 		return "full"
+	case LevelDelta:
+		return "delta"
+	case LevelQuantized:
+		return "quantized"
 	case LevelShaped:
 		return "shaped"
 	case LevelInSitu:

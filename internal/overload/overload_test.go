@@ -131,14 +131,13 @@ func TestLadderDegradesAndRecoversWithHysteresis(t *testing.T) {
 		t.Fatal("ladder must start at full")
 	}
 	over := Signals{QueueDepth: 10}
-	if got := l.Observe(over); got != LevelShaped {
-		t.Fatalf("first overload: %v, want shaped", got)
-	}
-	if got := l.Observe(over); got != LevelInSitu {
-		t.Fatalf("second overload: %v, want in-situ", got)
-	}
-	if got := l.Observe(over); got != LevelShed {
-		t.Fatalf("third overload: %v, want shed", got)
+	// One rung per overloaded observation: full -> delta -> quantized
+	// -> shaped -> in-situ -> shed.
+	walk := []Level{LevelDelta, LevelQuantized, LevelShaped, LevelInSitu, LevelShed}
+	for i, want := range walk {
+		if got := l.Observe(over); got != want {
+			t.Fatalf("overload %d: %v, want %v", i+1, got, want)
+		}
 	}
 	if got := l.Observe(over); got != LevelShed {
 		t.Fatalf("ladder must saturate at shed, got %v", got)
@@ -165,24 +164,26 @@ func TestLadderDegradesAndRecoversWithHysteresis(t *testing.T) {
 	if got := l.Observe(ok); got != LevelShaped {
 		t.Fatalf("recovery must resume rung by rung, got %v", got)
 	}
-	l.Observe(ok)
-	if got := l.Observe(ok); got != LevelFull {
-		t.Fatalf("ladder must return to full, got %v", got)
+	for _, want := range []Level{LevelQuantized, LevelDelta, LevelFull} {
+		l.Observe(ok)
+		if got := l.Observe(ok); got != want {
+			t.Fatalf("recovery must pass through %v, got %v", want, got)
+		}
 	}
-	if l.Drops() != 3 || l.Climbs() != 3 {
-		t.Fatalf("drops=%d climbs=%d, want 3/3", l.Drops(), l.Climbs())
+	if l.Drops() != 5 || l.Climbs() != 5 {
+		t.Fatalf("drops=%d climbs=%d, want 5/5", l.Drops(), l.Climbs())
 	}
 }
 
 func TestLadderBreakerAndCreditSignals(t *testing.T) {
 	l := NewLadder(LadderConfig{QueueHigh: 100, QueueLow: 50, DegradeAfter: 1, RecoverAfter: 1})
-	if got := l.Observe(Signals{BreakerOpen: true}); got != LevelShaped {
+	if got := l.Observe(Signals{BreakerOpen: true}); got != LevelDelta {
 		t.Fatalf("breaker-open must degrade, got %v", got)
 	}
-	if got := l.Observe(Signals{CreditsExhausted: true}); got != LevelInSitu {
+	if got := l.Observe(Signals{CreditsExhausted: true}); got != LevelQuantized {
 		t.Fatalf("credit exhaustion must degrade, got %v", got)
 	}
-	if got := l.Observe(Signals{QueueDepth: 10}); got != LevelShaped {
+	if got := l.Observe(Signals{QueueDepth: 10}); got != LevelDelta {
 		t.Fatalf("healthy signals must recover, got %v", got)
 	}
 }

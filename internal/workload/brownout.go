@@ -31,9 +31,13 @@ const (
 	// BrownoutFrom/BrownoutUntil bound the slowdown window in
 	// decision-index space: roughly four healthy steps' worth of pulls
 	// run first, then the window stays open until backlog pulls and
-	// failed half-open probes have consumed it.
+	// failed half-open probes have consumed it. The six-rung ladder
+	// (full → delta → quantized → shaped → in-situ → shed) needs a
+	// longer window than the original four-rung one: the byte-shrinking
+	// rungs still submit tasks, so each extra descent costs the window
+	// several pull decisions before pressure reaches the shed rung.
 	BrownoutFrom  = 16
-	BrownoutUntil = 40
+	BrownoutUntil = 48
 	// BrownoutFactor multiplies every covered transfer's modeled
 	// duration — a ~400x bandwidth collapse, the "slow consumer".
 	BrownoutFactor = 400

@@ -40,12 +40,12 @@ func TestBrownoutSoak(t *testing.T) {
 		t.Fatalf("brownout run failed: %v", err)
 	}
 
-	// (1) Bounded per-step simulation wall time. The floor absorbs
-	// scheduler noise on loaded CI machines; the real bound is 2x.
-	bound := 2 * baseline
-	if floor := baseline + 25*time.Millisecond; bound < floor {
-		bound = floor
-	}
+	// (1) Bounded per-step simulation wall time: 2x the unloaded twin,
+	// plus a constant allowance for scheduler noise — max-vs-max across
+	// two separate runs carries additive jitter that does not scale
+	// with the baseline, and `go test ./...` runs sibling packages'
+	// soaks concurrently on the same (possibly single-CPU) box.
+	bound := 2*baseline + 50*time.Millisecond
 	worst := rep.Metrics.MaxStepWall()
 	t.Logf("step wall: baseline max %v, brownout max %v (bound %v)", baseline, worst, bound)
 	if worst > bound {
