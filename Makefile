@@ -16,6 +16,12 @@
 #   make brownout   race-enabled overload soak: fixed-seed slow-consumer
 #                   brownout proving bounded step wall time, graded
 #                   shaping/shedding, breaker recovery, zero credit leaks
+#   make crashmatrix race-enabled recovery gate: kill the journaled run
+#                   at every journal phase boundary, resume, and require
+#                   bit-identical convergence to the golden run (commit
+#                   digests, live results, final checkpoints) with zero
+#                   credit/pinned-buffer leaks, plus the corrupt-
+#                   checkpoint fallback cell
 #   make fmt        gofmt gate: fails if any file needs reformatting
 #   make obs-check  end-to-end observability gate: builds s3dpipe, runs it
 #                   with the live endpoint, and validates /metrics,
@@ -24,7 +30,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par bench-json bench-gate fuzz-smoke chaos brownout fmt obs-check
+.PHONY: tier1 vet build test race bench bench-par bench-json bench-gate fuzz-smoke chaos brownout crashmatrix fmt obs-check
 
 tier1: fmt vet build test race
 
@@ -72,3 +78,6 @@ chaos:
 
 brownout:
 	$(GO) test -race -run TestBrownoutSoak -count=1 -v ./internal/workload/
+
+crashmatrix:
+	$(GO) test -race -run TestCrashMatrix -count=1 -v ./internal/workload/

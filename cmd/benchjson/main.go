@@ -28,6 +28,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"insitu/internal/recovery"
 )
 
 // Bench is one parsed benchmark line.
@@ -108,7 +110,9 @@ func generate(out, benchRe, benchtime, pr string) error {
 		return err
 	}
 	enc = append(enc, '\n')
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
+	// Atomic landing: a crash mid-write must not tear a baseline file a
+	// later -diff run would gate against.
+	if err := recovery.WriteFileAtomic(out, enc, 0o644); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(f.Benchmarks))

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -22,6 +24,7 @@ import (
 	"insitu/internal/grid"
 	"insitu/internal/netsim"
 	"insitu/internal/obs"
+	"insitu/internal/recovery"
 	"insitu/internal/render"
 	"insitu/internal/sim"
 	"insitu/internal/trace"
@@ -55,6 +58,9 @@ func main() {
 		obsAddr    = flag.String("obs", "", "serve the live observability endpoint (/metrics, /trace.json, /events.jsonl, /status, /debug/pprof) on this address, e.g. :6060")
 		obsDump    = flag.String("obs-dump", "", "directory to write trace.json, events.jsonl, and metrics.prom to after the run")
 		hold       = flag.Bool("hold", false, "with -obs: keep serving after the run until SIGINT/SIGTERM")
+		journal    = flag.String("journal", "", "directory for the durable step journal and checkpoints (enables recovery)")
+		resume     = flag.Bool("resume", false, "with -journal: continue an interrupted run from its last committed step")
+		ckptEvery  = flag.Int("ckpt-every", 5, "with -journal: checkpoint cadence in steps")
 	)
 	flag.Parse()
 
@@ -67,6 +73,11 @@ func main() {
 	simCfg.SubSteps = *substeps
 	simCfg.Seed = *seed
 	cfg := core.Config{Sim: simCfg, DSServers: *servers, Buckets: *buckets, Net: netsim.Gemini()}
+	if *journal != "" {
+		cfg.Recovery = &core.RecoveryConfig{Dir: *journal, Every: *ckptEvery}
+	} else if *resume {
+		fail(fmt.Errorf("-resume requires -journal DIR"))
+	}
 	p, err := core.NewPipeline(cfg)
 	if err != nil {
 		fail(err)
@@ -143,11 +154,29 @@ func main() {
 
 	fmt.Printf("s3dpipe: grid %dx%dx%d, %d simulation ranks, %d DataSpaces shards, %d buckets, %d steps\n\n",
 		*nx, *ny, *nz, (*px)*(*py)*(*pz), *servers, *buckets, *steps)
-	rep, err := p.Run(*steps)
+	var rep *core.Report
+	if *resume {
+		rep, err = p.Resume(*steps)
+	} else {
+		rep, err = p.Run(*steps)
+	}
 	if err != nil {
 		fail(err)
 	}
 	defer finishObs(pl, stop, *obsDump, *hold && *obsAddr != "")
+
+	if rec := rep.Recovery; rec != nil {
+		fmt.Printf("recovery: %d commits, %d checkpoints, %d journal fsyncs\n",
+			rec.Commits, rec.Checkpoints, rec.JournalFsyncs)
+		if *resume {
+			fmt.Printf("resumed from step %d (checkpoint %d): %d tasks replayed in %.3fs\n",
+				rec.ResumedFrom, rec.CheckpointStep, rec.ReplayedTasks, rec.ResumeSeconds)
+		}
+		for _, w := range rep.Warnings {
+			fmt.Println("warning:", w)
+		}
+		fmt.Println()
+	}
 
 	if tl != nil {
 		fmt.Println(tl.Gantt(100))
@@ -291,28 +320,27 @@ func finishObs(pl *obs.Plane, stop func(), dump string, hold bool) {
 }
 
 // dumpObs writes trace.json, events.jsonl, and metrics.prom under dir.
+// Each export is rendered in memory and landed with an atomic
+// temp-file+rename, so a crash mid-dump never leaves a torn artifact
+// where a previous run's good one stood.
 func dumpObs(dir string, pl *obs.Plane) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fail(err)
 	}
-	write := func(name string, render func(*os.File) error) {
+	write := func(name string, render func(io.Writer) error) {
 		path := filepath.Join(dir, name)
-		f, err := os.Create(path)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
 			fail(err)
 		}
-		if err := render(f); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := recovery.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
 			fail(err)
 		}
 		fmt.Println("wrote", path)
 	}
-	write("trace.json", func(f *os.File) error { return obs.WriteChromeTrace(f, pl.Recorder()) })
-	write("events.jsonl", func(f *os.File) error { return obs.WriteJSONL(f, pl.Recorder()) })
-	write("metrics.prom", func(f *os.File) error { return pl.Registry().WritePrometheus(f) })
+	write("trace.json", func(w io.Writer) error { return obs.WriteChromeTrace(w, pl.Recorder()) })
+	write("events.jsonl", func(w io.Writer) error { return obs.WriteJSONL(w, pl.Recorder()) })
+	write("metrics.prom", func(w io.Writer) error { return pl.Registry().WritePrometheus(w) })
 }
 
 // lastDue returns the last step at which a cadence-every analysis ran.

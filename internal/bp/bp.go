@@ -14,29 +14,46 @@ package bp
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"time"
 
 	"insitu/internal/bufpool"
 	"insitu/internal/grid"
+	"insitu/internal/recovery"
 )
 
 // magic identifies BP-lite files.
 var magic = [4]byte{'B', 'P', 'L', 'T'}
 
-const version = 1
+// Format versions. Version 2 adds a CRC32 of each variable's payload
+// to its index entry, verified on every read; version 1 files (no
+// per-record CRC) are still readable.
+const (
+	version1 = 1
+	version  = 2
+)
+
+// ErrCorruptCheckpoint is returned when a variable's payload fails its
+// recorded CRC32 — the on-disk analogue of the transport's in-flight
+// CRC framing. Structural damage (torn index, bad magic) also wraps
+// it, so callers can treat any bit-flipped checkpoint uniformly.
+var ErrCorruptCheckpoint = errors.New("bp: corrupt checkpoint")
 
 // WriteFile writes the fields to path and returns the byte count. The
 // whole file is packed into one pool-recycled buffer sized exactly up
 // front — each field marshals straight into its final position with no
 // intermediate per-field allocations — so repeated checkpoints reuse
-// one buffer instead of regrowing a bytes.Buffer every step.
+// one buffer instead of regrowing a bytes.Buffer every step. The file
+// lands via atomic temp-file+rename: a crash mid-checkpoint leaves the
+// previous file (or nothing), never a truncated one.
 func WriteFile(path string, fields []*grid.Field) (int64, error) {
 	total := 12 // magic + version + nvars
 	for _, f := range fields {
 		total += f.MarshalSize()      // payload
-		total += 4 + len(f.Name) + 16 // index entry
+		total += 4 + len(f.Name) + 20 // index entry (incl. CRC32)
 	}
 	total += 8 + 4 // footer offset + trailing magic
 	buf := bufpool.Get(total)[:0]
@@ -47,20 +64,27 @@ func WriteFile(path string, fields []*grid.Field) (int64, error) {
 	buf = append(buf, b4[:]...)
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(fields)))
 	buf = append(buf, b4[:]...)
-	// Payloads, recording offsets for the footer index.
+	// Payloads, recording offsets and payload CRCs for the footer
+	// index.
 	type entry struct {
 		name   string
 		offset uint64
 		length uint64
+		sum    uint32
 	}
 	index := make([]entry, 0, len(fields))
 	for _, f := range fields {
 		off := len(buf)
 		buf = f.AppendMarshal(buf)
-		index = append(index, entry{name: f.Name, offset: uint64(off), length: uint64(len(buf) - off)})
+		index = append(index, entry{
+			name:   f.Name,
+			offset: uint64(off),
+			length: uint64(len(buf) - off),
+			sum:    crc32.ChecksumIEEE(buf[off:]),
+		})
 	}
-	// Footer: per-variable (nameLen, name, offset, length), then the
-	// footer offset and magic again for validity checking.
+	// Footer: per-variable (nameLen, name, offset, length, crc32),
+	// then the footer offset and magic again for validity checking.
 	footerOff := uint64(len(buf))
 	var b8 [8]byte
 	for _, e := range index {
@@ -71,59 +95,91 @@ func WriteFile(path string, fields []*grid.Field) (int64, error) {
 		buf = append(buf, b8[:]...)
 		binary.LittleEndian.PutUint64(b8[:], e.length)
 		buf = append(buf, b8[:]...)
+		binary.LittleEndian.PutUint32(b4[:], e.sum)
+		buf = append(buf, b4[:]...)
 	}
 	binary.LittleEndian.PutUint64(b8[:], footerOff)
 	buf = append(buf, b8[:]...)
 	buf = append(buf, magic[:]...)
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	if err := recovery.WriteFileAtomic(path, buf, 0o644); err != nil {
 		return 0, fmt.Errorf("bp: write %s: %w", path, err)
 	}
 	return int64(len(buf)), nil
 }
 
-// readIndex parses the footer and returns name -> (offset, length).
-func readIndex(data []byte) (map[string][2]uint64, []string, error) {
+// idxEntry locates one variable's payload; sum is its CRC32 (version 2
+// files only, hasSum false for version 1).
+type idxEntry struct {
+	off, length uint64
+	sum         uint32
+	hasSum      bool
+}
+
+// readIndex parses the footer and returns name -> payload location.
+func readIndex(data []byte) (map[string]idxEntry, []string, error) {
 	if len(data) < 12+12 || !bytes.Equal(data[:4], magic[:]) {
-		return nil, nil, fmt.Errorf("bp: not a BP-lite file")
+		return nil, nil, fmt.Errorf("%w: not a BP-lite file", ErrCorruptCheckpoint)
 	}
 	if !bytes.Equal(data[len(data)-4:], magic[:]) {
-		return nil, nil, fmt.Errorf("bp: truncated file (footer magic missing)")
+		return nil, nil, fmt.Errorf("%w: truncated file (footer magic missing)", ErrCorruptCheckpoint)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
+	v := binary.LittleEndian.Uint32(data[4:8])
+	if v != version1 && v != version {
 		return nil, nil, fmt.Errorf("bp: unsupported version %d", v)
+	}
+	entrySize := 16
+	if v == version {
+		entrySize = 20
 	}
 	nvars := int(binary.LittleEndian.Uint32(data[8:12]))
 	footerOff := binary.LittleEndian.Uint64(data[len(data)-12 : len(data)-4])
 	if footerOff > uint64(len(data)) {
-		return nil, nil, fmt.Errorf("bp: corrupt footer offset")
+		return nil, nil, fmt.Errorf("%w: bad footer offset", ErrCorruptCheckpoint)
 	}
-	idx := make(map[string][2]uint64, nvars)
+	idx := make(map[string]idxEntry, nvars)
 	var order []string
 	p := data[footerOff : len(data)-12]
-	for v := 0; v < nvars; v++ {
+	for vi := 0; vi < nvars; vi++ {
 		if len(p) < 4 {
-			return nil, nil, fmt.Errorf("bp: truncated index entry %d", v)
+			return nil, nil, fmt.Errorf("%w: truncated index entry %d", ErrCorruptCheckpoint, vi)
 		}
 		nameLen := int(binary.LittleEndian.Uint32(p[:4]))
 		p = p[4:]
-		if len(p) < nameLen+16 {
-			return nil, nil, fmt.Errorf("bp: truncated index entry %d", v)
+		if len(p) < nameLen+entrySize {
+			return nil, nil, fmt.Errorf("%w: truncated index entry %d", ErrCorruptCheckpoint, vi)
 		}
 		name := string(p[:nameLen])
 		p = p[nameLen:]
-		off := binary.LittleEndian.Uint64(p[:8])
-		length := binary.LittleEndian.Uint64(p[8:16])
-		p = p[16:]
-		if off+length > uint64(len(data)) {
-			return nil, nil, fmt.Errorf("bp: variable %q extends past end of file", name)
+		e := idxEntry{
+			off:    binary.LittleEndian.Uint64(p[:8]),
+			length: binary.LittleEndian.Uint64(p[8:16]),
 		}
-		idx[name] = [2]uint64{off, length}
+		if v == version {
+			e.sum = binary.LittleEndian.Uint32(p[16:20])
+			e.hasSum = true
+		}
+		p = p[entrySize:]
+		if e.off+e.length > uint64(len(data)) {
+			return nil, nil, fmt.Errorf("%w: variable %q extends past end of file", ErrCorruptCheckpoint, name)
+		}
+		idx[name] = e
 		order = append(order, name)
 	}
 	return idx, order, nil
 }
 
-// ReadFile loads every field from a BP-lite file.
+// payload returns a variable's verified byte range: version 2 entries
+// are checked against their recorded CRC32 first.
+func payload(data []byte, name string, e idxEntry) ([]byte, error) {
+	b := data[e.off : e.off+e.length]
+	if e.hasSum && crc32.ChecksumIEEE(b) != e.sum {
+		return nil, fmt.Errorf("%w: variable %q CRC mismatch", ErrCorruptCheckpoint, name)
+	}
+	return b, nil
+}
+
+// ReadFile loads every field from a BP-lite file, verifying each
+// variable's CRC32.
 func ReadFile(path string) ([]*grid.Field, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -135,8 +191,11 @@ func ReadFile(path string) ([]*grid.Field, error) {
 	}
 	var out []*grid.Field
 	for _, name := range order {
-		e := idx[name]
-		f, err := grid.UnmarshalField(data[e[0] : e[0]+e[1]])
+		b, err := payload(data, name, idx[name])
+		if err != nil {
+			return nil, fmt.Errorf("bp: %s: %w", path, err)
+		}
+		f, err := grid.UnmarshalField(b)
 		if err != nil {
 			return nil, fmt.Errorf("bp: %s variable %q: %w", path, name, err)
 		}
@@ -146,7 +205,8 @@ func ReadFile(path string) ([]*grid.Field, error) {
 }
 
 // ReadVar loads a single variable by name, touching only its byte
-// range after the index — the selective-read capability BP provides.
+// range after the index — the selective-read capability BP provides —
+// and verifying that range's CRC32.
 func ReadVar(path, name string) (*grid.Field, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -160,7 +220,11 @@ func ReadVar(path, name string) (*grid.Field, error) {
 	if !ok {
 		return nil, fmt.Errorf("bp: %s: variable %q not found", path, name)
 	}
-	return grid.UnmarshalField(data[e[0] : e[0]+e[1]])
+	b, err := payload(data, name, e)
+	if err != nil {
+		return nil, fmt.Errorf("bp: %s: %w", path, err)
+	}
+	return grid.UnmarshalField(b)
 }
 
 // IOModel models a parallel filesystem whose aggregate bandwidth is

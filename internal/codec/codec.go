@@ -222,6 +222,17 @@ func Inspect(frame []byte) (ID, int, error) {
 	return id, rawSize, err
 }
 
+// SeedBase retains raw as the base payload for (key, version) — the
+// resume path's re-anchoring of the delta codec: after a restart the
+// in-memory base store is empty, so the pipeline recomputes the last
+// committed step's payload from restored simulation state and seeds it
+// here, letting the first live step delta-encode against it instead of
+// falling back to a literal frame. The raw slice is copied; the caller
+// keeps ownership.
+func (r *Registry) SeedBase(key string, version int, raw []byte) {
+	r.bases.put(key, version, raw)
+}
+
 // PrevVersion invokes fn with the retained payload for (key, version),
 // returning false when it is not resident. The slice is only valid
 // inside fn — the registry may recycle it afterwards. This is the

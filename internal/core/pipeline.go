@@ -15,6 +15,7 @@ import (
 	"insitu/internal/netsim"
 	"insitu/internal/obs"
 	"insitu/internal/overload"
+	"insitu/internal/recovery"
 	"insitu/internal/sim"
 	"insitu/internal/staging"
 	"insitu/internal/trace"
@@ -53,6 +54,12 @@ type Config struct {
 	// admission ladder's delta/quantized rungs override the configured
 	// spec for the steps they govern.
 	Codecs map[string]codec.Spec
+	// Recovery, when non-nil, enables durable run recovery: a
+	// write-ahead step journal, periodic bp checkpoints, and a Resume
+	// path that continues a crashed run bit-identically from its last
+	// committed step. Nil keeps the journal-free behavior byte for
+	// byte.
+	Recovery *RecoveryConfig
 }
 
 // DefaultConfig mirrors the paper's resource ratios at laptop scale.
@@ -81,9 +88,13 @@ type Pipeline struct {
 	est    *overload.Estimator
 	routes map[string]*routeState
 
+	// Recovery plane (nil when Config.Recovery is nil).
+	rec *recState
+
 	mu      sync.Mutex
 	results map[string]map[int]any // analysis -> step -> output
 	runErrs []error
+	warns   []error
 	eps     map[int]*dart.Endpoint // endpoint id -> endpoint (for release)
 	ran     bool
 	tl      *trace.Timeline
@@ -160,6 +171,20 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		p.ov = &ov
 		p.est = overload.NewEstimator(ov.LatencyAlpha, ov.QueueAlpha)
 		p.routes = make(map[string]*routeState)
+	}
+	if cfg.Recovery != nil {
+		if cfg.Recovery.Dir == "" {
+			return nil, fmt.Errorf("core: Recovery.Dir must be set")
+		}
+		j, err := recovery.Open(cfg.Recovery.Dir)
+		if err != nil {
+			return nil, err
+		}
+		every := cfg.Recovery.Every
+		if every <= 0 {
+			every = 5
+		}
+		p.rec = &recState{j: j, every: every, kill: cfg.Recovery.Kill, nextCommit: 1}
 	}
 	// Pooled buffers are safe here because every in-transit handler in
 	// core decodes its payloads into private structures (Unmarshal*)
@@ -283,6 +308,45 @@ func (p *Pipeline) EnableObs() *obs.Plane {
 			defer p.mu.Unlock()
 			return float64(p.completed)
 		})
+	// Recovery families are registered unconditionally (zero without a
+	// journal) so scrapes see a stable schema across configurations.
+	reg.CounterFunc("recovery_replayed_tasks_total", "resubmissions of journaled-but-uncommitted tasks after resume",
+		func() float64 {
+			if p.rec == nil {
+				return 0
+			}
+			return float64(p.rec.replayed.Load())
+		})
+	reg.CounterFunc("recovery_commits_total", "step commit records appended to the journal",
+		func() float64 {
+			if p.rec == nil {
+				return 0
+			}
+			return float64(p.rec.commits.Load())
+		})
+	reg.CounterFunc("recovery_checkpoints_total", "checkpoint records appended to the journal",
+		func() float64 {
+			if p.rec == nil {
+				return 0
+			}
+			return float64(p.rec.ckpts.Load())
+		})
+	reg.CounterFunc("recovery_journal_fsyncs_total", "fsync calls issued by the step journal",
+		func() float64 {
+			if p.rec == nil {
+				return 0
+			}
+			return float64(p.rec.j.Fsyncs())
+		})
+	reg.GaugeFunc("recovery_resume_seconds", "wall time from Resume to the first live step",
+		func() float64 {
+			if p.rec == nil {
+				return 0
+			}
+			p.rec.mu.Lock()
+			defer p.rec.mu.Unlock()
+			return p.rec.resumeSeconds
+		})
 	return pl
 }
 
@@ -393,6 +457,8 @@ type Report struct {
 	Resilience metrics.Resilience
 	Overload   metrics.Overload
 	Codec      dart.CodecStats
+	Recovery   *RecoveryReport // nil unless Config.Recovery was set
+	Warnings   []error         // non-fatal conditions (e.g. checkpoint fallback)
 	Errs       []error
 }
 
@@ -407,8 +473,31 @@ func (r *Report) Result(analysis string, step int) any {
 
 // Run executes the full pipeline for the given number of steps and
 // blocks until the simulation has finished and every in-transit task
-// has drained. Steps are numbered 1..steps.
+// has drained. Steps are numbered 1..steps. With recovery enabled,
+// Run requires an empty journal (a fresh run); use Resume to continue
+// an interrupted one.
 func (p *Pipeline) Run(steps int) (*Report, error) {
+	if p.rec != nil && len(p.rec.j.Records()) > 0 {
+		return nil, fmt.Errorf("core: journal %s is not empty; use Resume to continue the interrupted run", p.rec.j.Dir())
+	}
+	return p.run(steps, false)
+}
+
+// Resume continues an interrupted recovery-enabled run: simulation
+// state is rehydrated from the newest intact checkpoint at or below
+// the last committed step, the gap is replayed silently, transfer-path
+// codec base state is re-seeded, and live stepping restarts at the
+// first uncommitted step — producing results bit-identical to the run
+// that never crashed. Already committed tasks are never resubmitted;
+// journaled-but-uncommitted ones are replayed exactly once.
+func (p *Pipeline) Resume(steps int) (*Report, error) {
+	if p.rec == nil {
+		return nil, fmt.Errorf("core: Resume requires Config.Recovery")
+	}
+	return p.run(steps, true)
+}
+
+func (p *Pipeline) run(steps int, resume bool) (*Report, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("core: steps must be >= 1")
 	}
@@ -419,6 +508,16 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 	}
 	p.ran = true
 	p.mu.Unlock()
+
+	if p.rec != nil {
+		p.rec.resume = resume
+		p.rec.t0 = time.Now()
+		if resume {
+			if err := p.planResume(steps); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	// Overload control: bound the task queue, size the credit account
 	// to the most work the transit tier can hold (buckets draining plus
@@ -519,6 +618,7 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 			p.mu.Lock()
 			p.completed++
 			p.mu.Unlock()
+			p.maybeCommitSteps()
 			p.maybeCloseDS()
 		}
 	}()
@@ -550,6 +650,16 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 		p.col.RecordOverload(o)
 	}
 
+	var recRep *RecoveryReport
+	if p.rec != nil {
+		recRep = p.rec.report()
+		if p.rec.j.Killed() {
+			// The injected crash is the run's outcome: everything after
+			// the kill point is non-durable and Resume will redo it.
+			p.recordErr(fmt.Errorf("core: injected crash: %w", recovery.ErrKilled))
+		}
+	}
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rep := &Report{
@@ -560,6 +670,8 @@ func (p *Pipeline) Run(steps int) (*Report, error) {
 		Resilience: p.col.Resilience(),
 		Overload:   p.col.Overload(),
 		Codec:      p.fabric.CodecStats(),
+		Recovery:   recRep,
+		Warnings:   append([]error{}, p.warns...),
 		Errs:       append([]error{}, p.runErrs...),
 	}
 	if len(rep.Errs) > 0 {
@@ -785,7 +897,61 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 		}
 	}
 
-	for step := 1; step <= steps; step++ {
+	// Resume: rehydrate simulation state from the restored checkpoint,
+	// replay the gap up to the last committed step silently (committed
+	// steps' tasks are deduped, so nothing is re-submitted), re-seed the
+	// delta codec's base state with the payloads the committed boundary
+	// step produced, and start live stepping just past the commit line.
+	start := 1
+	if p.rec != nil && p.rec.resume {
+		if p.rec.ckptStep > 0 {
+			if err := rk.Restore(p.rec.ckptStep, p.rec.ckptFields[r.ID()]); err != nil {
+				return fmt.Errorf("core: resume restore rank %d: %w", r.ID(), err)
+			}
+		}
+		for s := p.rec.ckptStep + 1; s <= p.rec.resumeFrom; s++ {
+			rk.Step()
+		}
+		if p.rec.resumeFrom >= 1 {
+			ctx.Step = p.rec.resumeFrom
+			for _, a := range p.analyses {
+				an, ok := a.(hybridStage)
+				if !ok || !due(a, p.rec.resumeFrom) {
+					continue
+				}
+				payload, err := an.InSituStage(ctx)
+				if err != nil {
+					p.recordErr(fmt.Errorf("core: resume reseed %s rank %d: %w", a.Name(), r.ID(), err))
+					continue
+				}
+				p.codecs.SeedBase(codecKeys[a.Name()], p.rec.resumeFrom, payload)
+				bufpool.Put(payload)
+			}
+		}
+		start = p.rec.resumeFrom + 1
+		if r.ID() == 0 {
+			p.rec.markResumed()
+		}
+	}
+
+	for step := start; step <= steps; step++ {
+		// Journal phase boundary: a kill injected here (or left behind
+		// by the drain goroutine's post-commit boundary) stops every
+		// rank together before the step runs — ranks never diverge on
+		// collectives.
+		if p.rec != nil {
+			if r.ID() == 0 {
+				p.recKill(recovery.PhasePreAdmit, step)
+			}
+			if r.Broadcast(0, p.rec.isKilled()).(bool) {
+				return nil
+			}
+			if r.ID() == 0 {
+				if err := p.rec.j.Append(recovery.Record{Kind: recovery.KindAdmit, Step: step}); err != nil && !errors.Is(err, recovery.ErrKilled) {
+					p.recordErr(fmt.Errorf("core: journal admit step %d: %w", step, err))
+				}
+			}
+		}
 		stepStart := time.Now()
 		rk.Step()
 		p.col.RecordSimStep(step, time.Since(stepStart))
@@ -950,14 +1116,42 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 						spec.Credited = dec.Credited
 					}
 					if _, err := p.ds.SubmitSpec(spec); err != nil {
-						p.shedSubmitted(a.Name(), step, inputs, dec, err)
+						if errors.Is(err, dataspaces.ErrDuplicateTask) {
+							// Already durably submitted and committed in a
+							// previous life: release the pinned inputs and
+							// the credit exactly once, store nothing.
+							p.skipDuplicate(a.Name(), inputs, dec)
+						} else {
+							p.shedSubmitted(a.Name(), step, inputs, dec, err)
+						}
 					} else {
 						p.mu.Lock()
 						p.submitted++
 						p.mu.Unlock()
+						if p.rec != nil {
+							if p.rec.countReplay(a.Name(), step) {
+								p.rec.replayed.Add(1)
+							}
+							if err := p.rec.j.Append(recovery.Record{Kind: recovery.KindSubmit, Step: step, Analysis: a.Name()}); err != nil && !errors.Is(err, recovery.ErrKilled) {
+								p.recordErr(fmt.Errorf("core: journal submit %s step %d: %w", a.Name(), step, err))
+							}
+							p.recKill(recovery.PhaseMidSubmit, step)
+						}
 					}
 					p.ds.Remove(a.Name(), step)
 				}
+			}
+		}
+		// Checkpoint cadence and the commit cursor: the checkpoint is a
+		// collective write (every rank's bp file, then one journal
+		// record); the commit advance is rank 0's alone and also fires
+		// from the drain goroutine as in-transit results land.
+		if p.rec != nil {
+			if step%p.rec.every == 0 {
+				p.writeCheckpoint(r, rk, step)
+			}
+			if r.ID() == 0 {
+				p.noteStepped(step)
 			}
 		}
 		p.col.RecordStepWall(step, time.Since(stepStart))

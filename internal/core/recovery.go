@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc64"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/bp"
+	"insitu/internal/dataspaces"
+	"insitu/internal/grid"
+	"insitu/internal/recovery"
+)
+
+// RecoveryConfig enables durable run recovery: every step passes
+// through a write-ahead journal (admitted → submitted → committed),
+// simulation state is checkpointed to bp files every Every steps, and
+// a crashed run can be continued with Resume from the last committed
+// step, bit-identically to the uninterrupted run.
+type RecoveryConfig struct {
+	// Dir holds the journal, the checkpoint manifest, and the per-rank
+	// checkpoint files.
+	Dir string
+	// Every is the checkpoint cadence in steps (default 5).
+	Every int
+	// Kill, when non-nil, is consulted at every journal phase boundary
+	// on rank 0; returning true freezes all durable writes from that
+	// point on, simulating a process crash for the chaos matrix. The
+	// in-memory run drains normally (its unjournaled work is discarded
+	// by Resume), and Run returns recovery.ErrKilled.
+	Kill recovery.KillFunc
+}
+
+// RecoveryReport summarizes the recovery plane's work during one run.
+type RecoveryReport struct {
+	ResumedFrom    int     // last committed step the run continued from (0 = fresh)
+	CheckpointStep int     // checkpoint the simulation state was restored at
+	ReplayedTasks  int64   // resubmissions of journaled-but-uncommitted tasks
+	Commits        int64   // commit records appended this run
+	Checkpoints    int64   // checkpoint records appended this run
+	JournalFsyncs  int64   // fsync calls issued by the journal
+	ResumeSeconds  float64 // wall time from Resume to first live step
+}
+
+// recState is the pipeline's recovery plane: the journal, the
+// in-order committer's cursor, and resume bookkeeping.
+type recState struct {
+	j     *recovery.Journal
+	every int
+	kill  recovery.KillFunc
+
+	// Resume plan, fixed before the SPMD loop starts.
+	resume     bool
+	resumeFrom int                   // last contiguously committed step (≤ steps)
+	ckptStep   int                   // checkpoint the ranks restore at (0 = from scratch)
+	ckptFields map[int][]*grid.Field // rank -> restored fields
+	// prevSubmitted holds (step, analysis) pairs the dead process
+	// journaled a submit for beyond resumeFrom; resubmitting one counts
+	// as a replayed task.
+	prevSubmitted map[int]map[string]bool
+	t0            time.Time
+
+	mu            sync.Mutex
+	nextCommit    int // lowest uncommitted step
+	maxStepped    int // highest step whose submissions are all in
+	lastCkpt      int // newest durably journaled checkpoint step
+	resumeSeconds float64
+	resumeOnce    sync.Once
+
+	// commitMu makes the commit loop single-flight: the step loop and
+	// the drain goroutine may both observe a step become commit-ready,
+	// and without it both would journal a commit record for it.
+	commitMu sync.Mutex
+
+	replayed atomic.Int64
+	commits  atomic.Int64
+	ckpts    atomic.Int64
+}
+
+func (rec *recState) isKilled() bool { return rec.j.Killed() }
+
+// recKill consults the injected kill function at one phase boundary
+// and, on a hit, freezes the journal — everything before this call is
+// durable, everything after is lost, exactly like a crash between the
+// two writes.
+func (p *Pipeline) recKill(phase recovery.Phase, step int) {
+	rec := p.rec
+	if rec.kill == nil || rec.j.Killed() {
+		return
+	}
+	if rec.kill(phase, step) {
+		rec.j.Kill()
+		if p.tl != nil {
+			p.tl.Mark("recovery", fmt.Sprintf("killed %s@%d", phase, step), time.Now())
+		}
+	}
+}
+
+// planResume reads the journal back and fixes the resume plan: the
+// last contiguously committed step, the newest checkpoint at or below
+// it whose every rank file passes its CRCs (corrupt or missing files
+// fall back to the next older checkpoint), the dedup seed for already
+// committed tasks, and the set of journaled-but-uncommitted submits
+// whose resubmission is counted as a replay.
+func (p *Pipeline) planResume(steps int) error {
+	rec := p.rec
+	st := recovery.Analyze(rec.j.Records())
+	rec.resumeFrom = st.LastCommit
+	if rec.resumeFrom > steps {
+		rec.resumeFrom = steps
+	}
+	for _, cand := range st.CheckpointsFor(rec.resumeFrom) {
+		if len(cand.Files) != p.sim.Ranks() {
+			continue
+		}
+		fields := make(map[int][]*grid.Field, len(cand.Files))
+		ok := true
+		for rank, name := range cand.Files {
+			fl, err := bp.ReadFile(filepath.Join(rec.j.Dir(), name))
+			if err != nil {
+				p.recordWarn(fmt.Errorf("core: resume: checkpoint %d rank %d unusable, falling back: %w", cand.Step, rank, err))
+				ok = false
+				break
+			}
+			fields[rank] = fl
+		}
+		if ok {
+			rec.ckptStep = cand.Step
+			rec.ckptFields = fields
+			break
+		}
+	}
+	rec.lastCkpt = rec.ckptStep
+	rec.nextCommit = rec.resumeFrom + 1
+	rec.prevSubmitted = make(map[int]map[string]bool)
+	for step, names := range st.Submitted {
+		if step > rec.resumeFrom {
+			rec.prevSubmitted[step] = names
+		}
+	}
+	var seed []dataspaces.TaskKey
+	for _, a := range p.analyses {
+		if _, ok := a.(hybridStage); !ok {
+			continue
+		}
+		for s := 1; s <= rec.resumeFrom; s++ {
+			if due(a, s) {
+				seed = append(seed, dataspaces.TaskKey{Analysis: a.Name(), Step: s})
+			}
+		}
+	}
+	p.ds.EnableDedup(seed)
+	return nil
+}
+
+// recordWarn files a non-fatal condition the report should surface.
+// Resume-time checkpoint fallbacks land here: the run still succeeds
+// off an older checkpoint, but the corruption is never silent.
+func (p *Pipeline) recordWarn(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.warns = append(p.warns, err)
+}
+
+// noteStepped tells the committer every submission for step is in, and
+// tries to advance the commit cursor.
+func (p *Pipeline) noteStepped(step int) {
+	rec := p.rec
+	rec.mu.Lock()
+	if step > rec.maxStepped {
+		rec.maxStepped = step
+	}
+	rec.mu.Unlock()
+	p.maybeCommitSteps()
+}
+
+// maybeCommitSteps advances the in-order commit cursor: a step commits
+// once it has fully stepped and every due hybrid analysis has a stored
+// result. The commit record carries a digest of each result, so a
+// resumed run can be checked for bit-identical convergence against the
+// original. Called from rank 0's step loop and from the drain
+// goroutine; rec.mu is never held across p.mu or a journal append.
+func (p *Pipeline) maybeCommitSteps() {
+	rec := p.rec
+	if rec == nil {
+		return
+	}
+	rec.commitMu.Lock()
+	defer rec.commitMu.Unlock()
+	for {
+		rec.mu.Lock()
+		s := rec.nextCommit
+		stepped := s <= rec.maxStepped
+		lastCkpt := rec.lastCkpt
+		rec.mu.Unlock()
+		if !stepped {
+			return
+		}
+		digests, ready := p.commitDigests(s)
+		if !ready {
+			return
+		}
+		r := recovery.Record{Kind: recovery.KindCommit, Step: s, CkptStep: lastCkpt, Digests: digests}
+		if err := rec.j.Append(r); err != nil {
+			return // journal dead: nothing after this point is durable
+		}
+		rec.commits.Add(1)
+		rec.mu.Lock()
+		if s >= rec.nextCommit {
+			rec.nextCommit = s + 1
+		}
+		rec.mu.Unlock()
+		p.recKill(recovery.PhasePostCommit, s)
+	}
+}
+
+// commitDigests reports whether step s is commit-ready — every due
+// hybrid analysis has drained to a stored result — and digests every
+// due analysis result present at s.
+func (p *Pipeline) commitDigests(s int) (map[string]string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	digests := make(map[string]string)
+	for _, a := range p.analyses {
+		if !due(a, s) {
+			continue
+		}
+		out, ok := p.results[a.Name()][s]
+		if _, hybrid := a.(hybridStage); hybrid && !ok {
+			return nil, false
+		}
+		if ok {
+			digests[a.Name()] = resultDigest(out)
+		}
+	}
+	return digests, true
+}
+
+// resultDigest hashes a stored analysis result into a short stable
+// token. %v formatting is deterministic for the value shapes analyses
+// store (fmt sorts map keys); top-level pointers are dereferenced so
+// the digest covers the pointee, not the address.
+func resultDigest(v any) string {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer && !rv.IsNil() {
+		v = rv.Elem().Interface()
+	}
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	fmt.Fprintf(h, "%v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// writeCheckpoint writes this rank's bp checkpoint file for step and,
+// on rank 0 after the barrier, journals the checkpoint record (which
+// also refreshes the manifest). A dead journal writes nothing: a crash
+// earlier in the step must not leave newer durable state behind it.
+func (p *Pipeline) writeCheckpoint(r rankish, rk checkpointer, step int) {
+	rec := p.rec
+	if !rec.j.Killed() {
+		path := filepath.Join(rec.j.Dir(), recovery.CheckpointFile(step, r.ID()))
+		if _, err := bp.WriteFile(path, rk.CheckpointFields()); err != nil {
+			p.recordErr(fmt.Errorf("core: checkpoint step %d rank %d: %w", step, r.ID(), err))
+		}
+	}
+	r.Barrier()
+	if r.ID() != 0 {
+		return
+	}
+	p.recKill(recovery.PhaseMidCheckpoint, step)
+	files := make([]string, r.Size())
+	for i := range files {
+		files[i] = recovery.CheckpointFile(step, i)
+	}
+	rec2 := recovery.Record{Kind: recovery.KindCheckpoint, Step: step, CkptStep: step, Epoch: step, Files: files}
+	if err := rec.j.Append(rec2); err != nil {
+		return
+	}
+	rec.ckpts.Add(1)
+	rec.mu.Lock()
+	if step > rec.lastCkpt {
+		rec.lastCkpt = step
+	}
+	rec.mu.Unlock()
+}
+
+// rankish and checkpointer are the slices of comm.Rank and sim.Rank
+// writeCheckpoint needs; narrowing them keeps it unit-testable.
+type rankish interface {
+	ID() int
+	Size() int
+	Barrier()
+}
+
+type checkpointer interface {
+	CheckpointFields() []*grid.Field
+}
+
+// skipDuplicate disposes of a step whose task the journal proves was
+// already submitted and committed: the freshly produced payloads are
+// unpinned and recycled, the admission credit is returned, and no
+// result is stored (the committed digest already covers it).
+func (p *Pipeline) skipDuplicate(name string, inputs []dataspaces.Descriptor, dec admitDecision) {
+	for _, in := range inputs {
+		p.releaseHandle(in)
+	}
+	if dec.Credited {
+		if c := p.ds.Credits(); c != nil {
+			c.Release(name)
+		}
+	}
+}
+
+// countReplay reports whether a live submission of (analysis, step)
+// replays a submit the dead process had journaled but never committed.
+func (rec *recState) countReplay(analysis string, step int) bool {
+	return rec.prevSubmitted[step][analysis]
+}
+
+// recoveryReport snapshots the plane for the run report.
+func (rec *recState) report() *RecoveryReport {
+	rec.mu.Lock()
+	rs := rec.resumeSeconds
+	rec.mu.Unlock()
+	return &RecoveryReport{
+		ResumedFrom:    rec.resumeFrom,
+		CheckpointStep: rec.ckptStep,
+		ReplayedTasks:  rec.replayed.Load(),
+		Commits:        rec.commits.Load(),
+		Checkpoints:    rec.ckpts.Load(),
+		JournalFsyncs:  rec.j.Fsyncs(),
+		ResumeSeconds:  rs,
+	}
+}
+
+// markResumed records the resume latency exactly once, when rank 0
+// reaches its first live step.
+func (rec *recState) markResumed() {
+	rec.resumeOnce.Do(func() {
+		d := time.Since(rec.t0).Seconds()
+		rec.mu.Lock()
+		rec.resumeSeconds = d
+		rec.mu.Unlock()
+	})
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"insitu/internal/codec"
+	"insitu/internal/recovery"
+)
+
+// recoveryTestPipeline builds a small recovery-enabled hybrid pipeline
+// (stats route, delta codec everywhere) journaling into dir. With
+// dir == "" recovery is disabled — the plain twin the recovery runs
+// are compared against.
+func recoveryTestPipeline(t *testing.T, dir string, kill recovery.KillFunc) (*Pipeline, *StatsHybrid) {
+	t.Helper()
+	cfg := DefaultConfig(testSimConfig(2, 1, 1))
+	cfg.DSServers = 2
+	cfg.Buckets = 2
+	cfg.Codecs = map[string]codec.Spec{"*": {ID: codec.Delta}}
+	if dir != "" {
+		cfg.Recovery = &RecoveryConfig{Dir: dir, Every: 2, Kill: kill}
+	}
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := &StatsHybrid{Vars: []string{"T", "P"}}
+	p.Register(sa)
+	return p, sa
+}
+
+// TestBucketRespawnDeltaCodec: a bucket crash requeues its task onto
+// the respawned bucket, which re-pulls the task's delta-framed
+// payloads; the decode must land on the correct base epoch — identical
+// results to the crash-free run, zero checksum failures.
+func TestBucketRespawnDeltaCodec(t *testing.T) {
+	const steps = 8
+
+	run := func(crash bool) *Report {
+		p, sa := recoveryTestPipeline(t, "", nil)
+		if crash {
+			p.Staging().CrashBucket(0)
+		}
+		rep, err := p.Run(steps)
+		if err != nil {
+			t.Fatalf("run (crash=%v): %v", crash, err)
+		}
+		if n := p.PinnedRegions(); n != 0 {
+			t.Fatalf("run (crash=%v): %d pinned regions leaked", crash, n)
+		}
+		for s := 1; s <= steps; s++ {
+			if rep.Result(sa.Name(), s) == nil {
+				t.Fatalf("run (crash=%v): step %d result missing", crash, s)
+			}
+		}
+		return rep
+	}
+
+	golden := run(false)
+	crashed := run(true)
+
+	if crashed.Resilience.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", crashed.Resilience.Crashes)
+	}
+	if crashed.Resilience.Requeues < 1 {
+		t.Errorf("requeues = %d, want >= 1", crashed.Resilience.Requeues)
+	}
+	if crashed.Resilience.ChecksumFailures != 0 {
+		t.Errorf("checksum failures = %d on a fault-free fabric: delta decode hit a wrong base epoch",
+			crashed.Resilience.ChecksumFailures)
+	}
+	if !reflect.DeepEqual(golden.Results, crashed.Results) {
+		t.Error("results diverge after bucket respawn with delta framing")
+	}
+}
+
+// TestObsLedgerAcrossRestart: a killed journaled run and its resumed
+// successor each keep their own observability plane; the resumed
+// plane's task ledger must reconcile on its own — the dead process's
+// orphan submits never leak into the new plane's accounting — and the
+// recovery metric families must report the resume.
+func TestObsLedgerAcrossRestart(t *testing.T) {
+	const steps = 8
+	dir := t.TempDir()
+
+	p1, _ := recoveryTestPipeline(t, dir, recovery.KillAt(recovery.PhaseMidSubmit, 4))
+	p1.EnableObs()
+	_, err := p1.Run(steps)
+	if !errors.Is(err, recovery.ErrKilled) {
+		t.Fatalf("crashed run: err = %v, want ErrKilled", err)
+	}
+
+	p2, _ := recoveryTestPipeline(t, dir, nil)
+	pl := p2.EnableObs()
+	rep, err := p2.Resume(steps)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if rep.Recovery == nil || rep.Recovery.ReplayedTasks < 1 {
+		t.Fatalf("recovery report = %+v, want >= 1 replayed task", rep.Recovery)
+	}
+
+	var sb strings.Builder
+	if err := pl.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, fam := range []string{
+		"recovery_replayed_tasks_total",
+		"recovery_commits_total",
+		"recovery_checkpoints_total",
+		"recovery_journal_fsyncs_total",
+		"recovery_resume_seconds",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("metric family %s missing from resumed plane", fam)
+		}
+	}
+
+	// Ledger reconciliation: every task the resumed process submitted
+	// drained to a final result in the same process. The dead process's
+	// journaled submits were replayed, not adopted.
+	sub := metricValue(t, text, "pipeline_tasks_submitted_total")
+	com := metricValue(t, text, "pipeline_tasks_completed_total")
+	if sub == "" || sub == "0" || sub != com {
+		t.Errorf("resumed ledger does not reconcile: submitted %v, completed %v", sub, com)
+	}
+}
+
+// metricValue extracts one unlabeled sample value from a Prometheus
+// text exposition.
+func metricValue(t *testing.T, text, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, name))
+		}
+	}
+	t.Errorf("metric %s missing", name)
+	return ""
+}
+
+// TestRunRefusesDirtyJournal: Run on a journal with records must point
+// the caller at Resume instead of silently double-running.
+func TestRunRefusesDirtyJournal(t *testing.T) {
+	const steps = 4
+	dir := t.TempDir()
+	p1, _ := recoveryTestPipeline(t, dir, nil)
+	if _, err := p1.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := recoveryTestPipeline(t, dir, nil)
+	if _, err := p2.Run(steps); err == nil || !strings.Contains(err.Error(), "Resume") {
+		t.Fatalf("Run on dirty journal: err = %v, want a use-Resume error", err)
+	}
+}
+
+// TestResumeEquivalence: a fresh journaled run and a killed+resumed
+// pair produce identical stored results for the live steps and commit
+// every step with matching digests.
+func TestResumeEquivalence(t *testing.T) {
+	const steps = 8
+	goldenDir := t.TempDir()
+	pg, sa := recoveryTestPipeline(t, goldenDir, nil)
+	grep, err := pg.Run(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	p1, _ := recoveryTestPipeline(t, dir, recovery.KillAt(recovery.PhasePreAdmit, 5))
+	if _, err := p1.Run(steps); !errors.Is(err, recovery.ErrKilled) {
+		t.Fatalf("crashed run: err = %v, want ErrKilled", err)
+	}
+	p2, _ := recoveryTestPipeline(t, dir, nil)
+	rrep, err := p2.Resume(steps)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	for s := rrep.Recovery.ResumedFrom + 1; s <= steps; s++ {
+		if !reflect.DeepEqual(rrep.Result(sa.Name(), s), grep.Result(sa.Name(), s)) {
+			t.Errorf("step %d: resumed result diverges from fresh run", s)
+		}
+	}
+	jg, err := recovery.Open(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := recovery.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, sr := recovery.Analyze(jg.Records()), recovery.Analyze(jr.Records())
+	if sg.LastCommit != steps || sr.LastCommit != steps {
+		t.Fatalf("last commits: golden %d, resumed %d, want %d", sg.LastCommit, sr.LastCommit, steps)
+	}
+	for s := 1; s <= steps; s++ {
+		if !reflect.DeepEqual(sg.Commits[s].Digests, sr.Commits[s].Digests) {
+			t.Errorf("step %d: digests diverge: %v vs %v", s, sr.Commits[s].Digests, sg.Commits[s].Digests)
+		}
+	}
+}

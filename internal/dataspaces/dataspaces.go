@@ -101,6 +101,7 @@ type Service struct {
 	bound   int // max queued (unassigned) tasks; 0 = unbounded
 
 	credits *Credits
+	dedup   map[TaskKey]bool // accepted (analysis, step) pairs; nil = dedup off
 
 	assigned int64 // tasks handed to buckets
 	requeues int64 // failed tasks pushed back for another attempt
@@ -219,6 +220,33 @@ var ErrClosed = errors.New("dataspaces: service closed")
 // admission ladder reacts to instead of letting the queue grow.
 var ErrQueueFull = errors.New("dataspaces: task queue full")
 
+// ErrDuplicateTask is returned by SubmitSpec, with dedup enabled, for
+// a second submission of an (analysis, step) pair — the idempotency
+// guard of journal replay: a resumed run re-submitting work the dead
+// process already ran (or that was seeded as committed) must not run
+// it twice or double-settle its credit.
+var ErrDuplicateTask = errors.New("dataspaces: duplicate task submission")
+
+// TaskKey identifies one logical in-transit task for replay dedup.
+type TaskKey struct {
+	Analysis string
+	Step     int
+}
+
+// EnableDedup turns on (analysis, step) submission dedup: SubmitSpec
+// refuses a key it has already accepted with ErrDuplicateTask. seed
+// pre-marks keys as already done — the resume path seeds it with every
+// pair the journal shows committed, so a replayed step can never
+// re-enter the transit tier. Call before traffic starts.
+func (s *Service) EnableDedup(seed []TaskKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dedup = make(map[TaskKey]bool, len(seed))
+	for _, k := range seed {
+		s.dedup[k] = true
+	}
+}
+
 // SetQueueBound bounds the number of *queued* (submitted but not yet
 // assigned) tasks; submissions beyond it fail with ErrQueueFull. Zero
 // removes the bound. Tasks handed directly to a waiting bucket never
@@ -289,13 +317,26 @@ func (s *Service) rpcCost(d Descriptor) {
 }
 
 // Put inserts a descriptor into the shared space. Producers call this
-// after registering their intermediate data with DART.
+// after registering their intermediate data with DART. A descriptor
+// with the same (Name, Version, Rank) as an existing one replaces it —
+// re-registration during journal replay is idempotent instead of
+// doubling a task's inputs.
 func (s *Service) Put(d Descriptor) {
 	k := key{d.Name, d.Version}
 	sv := s.shard(k)
 	s.rpcCost(d)
 	sv.mu.Lock()
-	sv.index[k] = append(sv.index[k], d)
+	replaced := false
+	for i, old := range sv.index[k] {
+		if old.Rank == d.Rank {
+			sv.index[k][i] = d
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		sv.index[k] = append(sv.index[k], d)
+	}
 	sv.rpcs++
 	sv.mu.Unlock()
 }
@@ -361,9 +402,17 @@ func (s *Service) SubmitSpec(spec TaskSpec) (int64, error) {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
+	dk := TaskKey{Analysis: spec.Analysis, Step: spec.Step}
+	if s.dedup != nil && s.dedup[dk] {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s@%d", ErrDuplicateTask, spec.Analysis, spec.Step)
+	}
 	if len(s.waiting) == 0 && s.bound > 0 && len(s.queue) >= s.bound {
 		s.mu.Unlock()
 		return 0, ErrQueueFull
+	}
+	if s.dedup != nil {
+		s.dedup[dk] = true
 	}
 	s.nextID++
 	t := Task{

@@ -1,0 +1,401 @@
+// Package recovery implements the durable run-recovery substrate: a
+// CRC-framed write-ahead step journal plus a checkpoint manifest, both
+// written with atomic temp-file+rename so a crash at any instant
+// leaves either the old durable state or the new one, never a torn
+// file. The journal records the step commit protocol — step admitted →
+// tasks submitted → checkpoint bound → step committed — and a resumed
+// pipeline replays it to find the last committed step, the checkpoint
+// files that cover it, and the codec base-state epoch to re-seed.
+//
+// The package also hosts the crash-injection plumbing the crash-matrix
+// soak drives: a KillFunc evaluated at every journal phase boundary
+// and a Kill switch that freezes all durable writes, simulating the
+// process dying at exactly that boundary. Everything here is
+// standard-library only, so the checkpoint writer (internal/bp) and
+// the pipeline (internal/core) can both build on it without cycles.
+package recovery
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Phase names a journal phase boundary — the instants the crash matrix
+// kills the pipeline at.
+type Phase int
+
+const (
+	// PhasePreAdmit fires before the step's admit record is written:
+	// the step leaves no durable trace at all.
+	PhasePreAdmit Phase = iota
+	// PhaseMidSubmit fires after the step's first submit record: the
+	// journal shows a partially submitted step with no commit.
+	PhaseMidSubmit
+	// PhaseMidCheckpoint fires after the checkpoint files are written
+	// but before the journal's ckpt record binds them: the files exist
+	// on disk but are not trusted by resume.
+	PhaseMidCheckpoint
+	// PhasePostCommit fires immediately after a commit record lands:
+	// the cleanest possible crash, everything up to the step durable.
+	PhasePostCommit
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhasePreAdmit:
+		return "pre-admit"
+	case PhaseMidSubmit:
+		return "mid-submit"
+	case PhaseMidCheckpoint:
+		return "mid-checkpoint"
+	case PhasePostCommit:
+		return "post-commit"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// ErrKilled is the outcome of a run aborted by an injected crash: the
+// journal froze at a phase boundary and every rank stopped at the next
+// step boundary.
+var ErrKilled = errors.New("recovery: run killed at journal phase boundary")
+
+// KillFunc decides, at each phase boundary of each step, whether the
+// injected crash fires. Implementations must be safe for concurrent
+// use: the post-commit boundary is evaluated on the drain goroutine.
+type KillFunc func(phase Phase, step int) bool
+
+// KillAt returns a KillFunc that fires exactly once, at the first
+// evaluation of the given phase boundary with step >= the given step
+// (a phase may not occur at the exact step, e.g. a checkpoint cadence
+// skipping it).
+func KillAt(phase Phase, step int) KillFunc {
+	var fired atomic.Bool
+	return func(p Phase, s int) bool {
+		if p != phase || s < step {
+			return false
+		}
+		return fired.CompareAndSwap(false, true)
+	}
+}
+
+// Record kinds, in protocol order.
+const (
+	KindAdmit      = "admit"  // step entered the pipeline
+	KindSubmit     = "submit" // one in-transit task submitted for the step
+	KindCheckpoint = "ckpt"   // checkpoint files written and bound
+	KindCommit     = "commit" // step's results all settled durably
+)
+
+// Record is one journal entry. Only the fields relevant to a kind are
+// populated.
+type Record struct {
+	Kind string `json:"kind"`
+	Step int    `json:"step"`
+	// Analysis names the submitted route (KindSubmit).
+	Analysis string `json:"analysis,omitempty"`
+	// Files lists the per-rank checkpoint file names, relative to the
+	// journal directory (KindCheckpoint).
+	Files []string `json:"files,omitempty"`
+	// Epoch is the codec base-state epoch the checkpoint corresponds
+	// to: the version the delta base stores must be re-seeded at
+	// (KindCheckpoint; equals Step for per-step payload streams).
+	Epoch int `json:"epoch,omitempty"`
+	// CkptStep is the latest checkpointed step at commit time
+	// (KindCommit).
+	CkptStep int `json:"ckpt_step,omitempty"`
+	// Digests maps analysis name to the hex digest of its stored
+	// result for the step (KindCommit), so two journals' views of a
+	// step can be compared without the results themselves.
+	Digests map[string]string `json:"digests,omitempty"`
+}
+
+// Manifest is the latest checkpoint binding, mirrored to
+// MANIFEST.json in the journal directory whenever a ckpt record
+// lands — a single-file summary external tools can read without
+// parsing the journal.
+type Manifest struct {
+	Step  int      `json:"step"`
+	Epoch int      `json:"epoch"`
+	Files []string `json:"files"`
+}
+
+const (
+	journalFile  = "journal.wal"
+	manifestFile = "MANIFEST.json"
+)
+
+// CheckpointFile returns the canonical per-rank checkpoint file name
+// for a step, relative to the journal directory.
+func CheckpointFile(step, rank int) string {
+	return fmt.Sprintf("ckpt-%05d-r%03d.bp", step, rank)
+}
+
+// Journal is the durable write-ahead step journal. Appends rewrite the
+// whole journal to a temp file and rename it into place — the journal
+// is a few small records per step, so atomicity is bought with a
+// rewrite rather than append-ordering subtleties. Each record is
+// framed [length | crc32 | payload] so disk corruption is detected on
+// open; a torn or corrupt tail is tolerated by stopping at the first
+// bad frame.
+type Journal struct {
+	dir string
+
+	mu      sync.Mutex
+	records []Record
+	dead    bool
+
+	fsyncs  atomic.Int64
+	appends atomic.Int64
+}
+
+// Open creates the journal directory if needed and loads any existing
+// journal, tolerating a torn tail.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recovery: open journal dir: %w", err)
+	}
+	j := &Journal{dir: dir}
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return j, nil
+		}
+		return nil, fmt.Errorf("recovery: read journal: %w", err)
+	}
+	j.records = decodeRecords(data)
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Records returns a copy of the journal's records in append order.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.records...)
+}
+
+// Kill freezes the journal: every subsequent durable write becomes a
+// no-op returning ErrKilled, simulating the process dying at this
+// instant. State already on disk stays exactly as it is.
+func (j *Journal) Kill() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.dead = true
+}
+
+// Killed reports whether Kill has been called.
+func (j *Journal) Killed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dead
+}
+
+// Fsyncs returns the number of fsync calls the journal has issued
+// (file + directory syncs of its atomic writes).
+func (j *Journal) Fsyncs() int64 { return j.fsyncs.Load() }
+
+// Appends returns the number of records durably appended.
+func (j *Journal) Appends() int64 { return j.appends.Load() }
+
+// Append durably appends one record: the journal (plus the new
+// record) is rewritten to a temp file, fsynced, and renamed into
+// place. A ckpt record additionally refreshes MANIFEST.json. Returns
+// ErrKilled without touching disk after Kill.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return ErrKilled
+	}
+	next := append(append([]Record(nil), j.records...), rec)
+	data, err := encodeRecords(next)
+	if err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(filepath.Join(j.dir, journalFile), data, 0o644); err != nil {
+		return fmt.Errorf("recovery: append journal: %w", err)
+	}
+	j.fsyncs.Add(2) // WriteFileAtomic syncs the file and its directory
+	if rec.Kind == KindCheckpoint {
+		m, err := json.MarshalIndent(Manifest{Step: rec.Step, Epoch: rec.Epoch, Files: rec.Files}, "", "  ")
+		if err == nil {
+			m = append(m, '\n')
+			if err := WriteFileAtomic(filepath.Join(j.dir, manifestFile), m, 0o644); err != nil {
+				return fmt.Errorf("recovery: write manifest: %w", err)
+			}
+			j.fsyncs.Add(2)
+		}
+	}
+	j.records = next
+	j.appends.Add(1)
+	return nil
+}
+
+// ReadManifest loads the latest checkpoint manifest from a journal
+// directory.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("recovery: parse manifest: %w", err)
+	}
+	return m, nil
+}
+
+// encodeRecords frames records as [uint32 length | uint32 crc32(IEEE)
+// of payload | JSON payload]*.
+func encodeRecords(recs []Record) ([]byte, error) {
+	var out []byte
+	var hdr [8]byte
+	for _, r := range recs {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: encode record: %w", err)
+		}
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		out = append(out, hdr[:]...)
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// decodeRecords parses framed records, stopping silently at the first
+// truncated or CRC-failing frame: everything before a torn tail is
+// trusted, nothing after it.
+func decodeRecords(data []byte) []Record {
+	var out []Record
+	for len(data) >= 8 {
+		n := int(binary.LittleEndian.Uint32(data[0:4]))
+		sum := binary.LittleEndian.Uint32(data[4:8])
+		if n < 0 || len(data)-8 < n {
+			break
+		}
+		payload := data[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			break
+		}
+		out = append(out, r)
+		data = data[8+n:]
+	}
+	return out
+}
+
+// State is the resume-relevant summary of a journal.
+type State struct {
+	// LastCommit is the highest step up to which every step 1..s has a
+	// commit record (0 when nothing committed). Resume restarts the
+	// live run at LastCommit+1.
+	LastCommit int
+	// Commits maps committed step -> its commit record.
+	Commits map[int]Record
+	// Checkpoints lists ckpt records in append order.
+	Checkpoints []Record
+	// Submitted maps step -> set of analyses with submit records —
+	// work a dead process had in flight, which a resumed run counts as
+	// replayed when it re-submits.
+	Submitted map[int]map[string]bool
+}
+
+// Analyze folds a journal's records into a State.
+func Analyze(records []Record) State {
+	st := State{
+		Commits:   make(map[int]Record),
+		Submitted: make(map[int]map[string]bool),
+	}
+	for _, r := range records {
+		switch r.Kind {
+		case KindCommit:
+			st.Commits[r.Step] = r
+		case KindCheckpoint:
+			st.Checkpoints = append(st.Checkpoints, r)
+		case KindSubmit:
+			m := st.Submitted[r.Step]
+			if m == nil {
+				m = make(map[string]bool)
+				st.Submitted[r.Step] = m
+			}
+			m[r.Analysis] = true
+		}
+	}
+	for s := 1; ; s++ {
+		if _, ok := st.Commits[s]; !ok {
+			break
+		}
+		st.LastCommit = s
+	}
+	return st
+}
+
+// CheckpointsFor returns the ckpt records usable to resume at
+// LastCommit = step: those with Step <= step, newest first.
+func (st State) CheckpointsFor(step int) []Record {
+	var out []Record
+	for _, r := range st.Checkpoints {
+		if r.Step <= step {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, k int) bool { return out[i].Step > out[k].Step })
+	return out
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, renames it into place, and fsyncs the
+// directory — a crash at any instant leaves either the previous file
+// or the complete new one, never a truncated mix. It is the shared
+// crash-safe writer for the journal, the bp checkpoint files, and the
+// artifact exporters.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return e
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

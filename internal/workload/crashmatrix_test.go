@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"insitu/internal/core"
+	"insitu/internal/recovery"
+)
+
+// cmGolden is the uninterrupted run every crash cell must converge to.
+type cmGolden struct {
+	rep     *core.Report
+	digests map[int]map[string]string // step -> analysis -> result digest
+	ckpts   map[string][]byte         // final-step checkpoint file -> bytes
+}
+
+func goldenCrashRun(t *testing.T) *cmGolden {
+	t.Helper()
+	dir := t.TempDir()
+	p, _, err := NewCrashMatrixPipeline(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(CrashMatrixSteps)
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	if rep.Recovery == nil || rep.Recovery.Commits != CrashMatrixSteps {
+		t.Fatalf("golden run: recovery = %+v, want %d commits", rep.Recovery, CrashMatrixSteps)
+	}
+	g := &cmGolden{
+		rep:     rep,
+		digests: make(map[int]map[string]string),
+		ckpts:   make(map[string][]byte),
+	}
+	j, err := recovery.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := recovery.Analyze(j.Records())
+	if st.LastCommit != CrashMatrixSteps {
+		t.Fatalf("golden journal: last commit %d, want %d", st.LastCommit, CrashMatrixSteps)
+	}
+	for s, c := range st.Commits {
+		g.digests[s] = c.Digests
+	}
+	for rank := 0; rank < p.Sim().Ranks(); rank++ {
+		name := recovery.CheckpointFile(CrashMatrixSteps, rank)
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("golden checkpoint: %v", err)
+		}
+		g.ckpts[name] = data
+	}
+	return g
+}
+
+// assertClean checks the leak invariants the matrix demands of every
+// run, crashed or resumed: zero pinned payload regions and a fully
+// re-settled credit account.
+func assertClean(t *testing.T, label string, p *core.Pipeline) {
+	t.Helper()
+	if n := p.PinnedRegions(); n != 0 {
+		t.Errorf("%s: %d pinned regions leaked", label, n)
+	}
+	if c := p.Credits(); c != nil {
+		if c.Available() != c.Total() || c.Outstanding() != 0 {
+			t.Errorf("%s: credits leaked: available %d / total %d, outstanding %d",
+				label, c.Available(), c.Total(), c.Outstanding())
+		}
+	}
+}
+
+// assertConverged checks one crash cell's resumed run against the
+// golden: every step durably committed with identical result digests,
+// every live step's stored result deep-equal to the golden's, and the
+// final checkpoint files byte-identical.
+func assertConverged(t *testing.T, g *cmGolden, dir string, p2 *core.Pipeline, rep2 *core.Report) {
+	t.Helper()
+	j, err := recovery.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	st := recovery.Analyze(j.Records())
+	if st.LastCommit != CrashMatrixSteps {
+		t.Errorf("journal: last commit %d, want %d", st.LastCommit, CrashMatrixSteps)
+	}
+	for s := 1; s <= CrashMatrixSteps; s++ {
+		c, ok := st.Commits[s]
+		if !ok {
+			t.Errorf("step %d never committed", s)
+			continue
+		}
+		if !reflect.DeepEqual(c.Digests, g.digests[s]) {
+			t.Errorf("step %d digests diverge: got %v, golden %v", s, c.Digests, g.digests[s])
+		}
+	}
+	from := rep2.Recovery.ResumedFrom
+	for name, m := range g.rep.Results {
+		for s, want := range m {
+			if s <= from {
+				continue
+			}
+			if got := rep2.Results[name][s]; !reflect.DeepEqual(got, want) {
+				t.Errorf("%s@%d: resumed result diverges from golden", name, s)
+			}
+		}
+	}
+	for name, want := range g.ckpts {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("final checkpoint %s: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("final checkpoint %s differs from golden", name)
+		}
+	}
+	assertClean(t, "resumed", p2)
+}
+
+// TestCrashMatrix is the chaos gate: kill the run at every journal
+// phase boundary at early, middle, and final steps, resume, and
+// require bit-identical convergence to the golden run plus zero
+// resource leaks — and, for the corruption cell, a clean fallback to
+// the next older checkpoint when the newest one fails its CRCs.
+func TestCrashMatrix(t *testing.T) {
+	g := goldenCrashRun(t)
+
+	cells := []struct {
+		phase recovery.Phase
+		step  int
+	}{
+		{recovery.PhasePreAdmit, 1}, {recovery.PhasePreAdmit, 5}, {recovery.PhasePreAdmit, 10},
+		{recovery.PhaseMidSubmit, 2}, {recovery.PhaseMidSubmit, 5}, {recovery.PhaseMidSubmit, 10},
+		{recovery.PhaseMidCheckpoint, 2}, {recovery.PhaseMidCheckpoint, 6}, {recovery.PhaseMidCheckpoint, 10},
+		{recovery.PhasePostCommit, 1}, {recovery.PhasePostCommit, 5}, {recovery.PhasePostCommit, 10},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(fmt.Sprintf("%s@%d", cell.phase, cell.step), func(t *testing.T) {
+			dir := t.TempDir()
+			p1, _, err := NewCrashMatrixPipeline(dir, recovery.KillAt(cell.phase, cell.step))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = p1.Run(CrashMatrixSteps)
+			if !errors.Is(err, recovery.ErrKilled) {
+				t.Fatalf("crashed run: err = %v, want ErrKilled", err)
+			}
+			assertClean(t, "crashed", p1)
+
+			p2, _, err := NewCrashMatrixPipeline(dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep2, err := p2.Resume(CrashMatrixSteps)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if cell.phase == recovery.PhaseMidSubmit && rep2.Recovery.ReplayedTasks < 1 {
+				t.Errorf("mid-submit cell replayed %d tasks, want >= 1", rep2.Recovery.ReplayedTasks)
+			}
+			assertConverged(t, g, dir, p2, rep2)
+		})
+	}
+
+	t.Run("corrupt-checkpoint-fallback", func(t *testing.T) {
+		dir := t.TempDir()
+		p1, _, err := NewCrashMatrixPipeline(dir, recovery.KillAt(recovery.PhasePostCommit, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = p1.Run(CrashMatrixSteps)
+		if !errors.Is(err, recovery.ErrKilled) {
+			t.Fatalf("crashed run: err = %v, want ErrKilled", err)
+		}
+		// Bit-flip a payload byte of the newest checkpoint's rank-0
+		// file: resume must reject it on CRC and fall back to step 4.
+		victim := filepath.Join(dir, recovery.CheckpointFile(6, 0))
+		data, err := os.ReadFile(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[64] ^= 0x01
+		if err := os.WriteFile(victim, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		p2, _, err := NewCrashMatrixPipeline(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := p2.Resume(CrashMatrixSteps)
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if rep2.Recovery.ResumedFrom != 6 {
+			t.Errorf("resumed from %d, want 6", rep2.Recovery.ResumedFrom)
+		}
+		if rep2.Recovery.CheckpointStep != 4 {
+			t.Errorf("restored at checkpoint %d, want fallback to 4", rep2.Recovery.CheckpointStep)
+		}
+		if len(rep2.Warnings) == 0 {
+			t.Error("checkpoint fallback produced no warning")
+		}
+		assertConverged(t, g, dir, p2, rep2)
+	})
+}
