@@ -22,6 +22,10 @@
 #                   digests, live results, final checkpoints) with zero
 #                   credit/pinned-buffer leaks, plus the corrupt-
 #                   checkpoint fallback cell
+#   make tenants    race-enabled noisy-neighbor soak: three tenants on
+#                   one scheduler while one misbehaves (endpoint-scoped
+#                   slowdown + poison route), proving victim isolation,
+#                   quarantine open/release, autoscaling, zero leaks
 #   make fmt        gofmt gate: fails if any file needs reformatting
 #   make obs-check  end-to-end observability gate: builds s3dpipe, runs it
 #                   with the live endpoint, and validates /metrics,
@@ -30,7 +34,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par bench-json bench-gate fuzz-smoke chaos brownout crashmatrix fmt obs-check
+.PHONY: tier1 vet build test race bench bench-par bench-json bench-gate fuzz-smoke chaos brownout crashmatrix tenants fmt obs-check
 
 tier1: fmt vet build test race
 
@@ -81,3 +85,6 @@ brownout:
 
 crashmatrix:
 	$(GO) test -race -run TestCrashMatrix -count=1 -v ./internal/workload/
+
+tenants:
+	$(GO) test -race -run TestNoisyNeighborSoak -count=1 -v ./internal/workload/

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"insitu/internal/core"
@@ -55,6 +56,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		timeline   = flag.Bool("timeline", false, "print the execution Gantt chart (temporal multiplexing)")
 		overload   = flag.Bool("overload", false, "run the fixed-seed staging-brownout scenario and print the overload/resilience summary")
+		tenants    = flag.Bool("tenants", false, "run the fixed-seed multi-tenant noisy-neighbor scenario and print the per-tenant fabric summary")
 		obsAddr    = flag.String("obs", "", "serve the live observability endpoint (/metrics, /trace.json, /events.jsonl, /status, /debug/pprof) on this address, e.g. :6060")
 		obsDump    = flag.String("obs-dump", "", "directory to write trace.json, events.jsonl, and metrics.prom to after the run")
 		hold       = flag.Bool("hold", false, "with -obs: keep serving after the run until SIGINT/SIGTERM")
@@ -66,6 +68,10 @@ func main() {
 
 	if *overload {
 		runBrownout(*obsAddr, *obsDump, *hold)
+		return
+	}
+	if *tenants {
+		runTenants(*obsAddr, *obsDump, *hold)
 		return
 	}
 
@@ -278,6 +284,101 @@ func runBrownout(obsAddr, obsDump string, hold bool) {
 	fmt.Printf("  credits drained: %d/%d available, %d outstanding\n",
 		c.Available(), c.Total(), c.Outstanding())
 	fmt.Printf("  worst step wall: %v\n", rep.Metrics.MaxStepWall().Round(1e3))
+}
+
+// runTenants runs the fixed-seed multi-tenant noisy-neighbor scenario
+// (the same configuration the TestNoisyNeighborSoak acceptance soak
+// uses) and prints the per-tenant fabric summary: how each tenant's
+// admission plane behaved, what the quarantine did to the poison
+// route, how the autoscaler moved the shared bucket pool, and what
+// transfer noise each tenant's endpoints generated.
+func runTenants(obsAddr, obsDump string, hold bool) {
+	fmt.Printf("s3dpipe: multi-tenant fabric, %d steps, tenants %v + %s (noisy), slowdown x%d over decisions [%d,%d), seed %d\n\n",
+		workload.TenantSteps, workload.TenantVictims, workload.TenantNoisy,
+		workload.TenantSlowFactor, workload.TenantSlowFrom, workload.TenantSlowUntil, workload.TenantSeed)
+	s, routes, err := workload.NewTenantScheduler(true)
+	if err != nil {
+		fail(err)
+	}
+	var pl *obs.Plane
+	var stop func()
+	if obsAddr != "" || obsDump != "" {
+		pl = s.EnableObs()
+		if obsAddr != "" {
+			ln, err := net.Listen("tcp", obsAddr)
+			if err != nil {
+				fail(err)
+			}
+			srv := &http.Server{Handler: obs.Handler(pl, func() any {
+				return map[string]any{
+					"tenants":        append(append([]string(nil), workload.TenantVictims...), workload.TenantNoisy),
+					"active_buckets": s.Staging().ActiveBuckets(),
+				}
+			})}
+			go srv.Serve(ln)
+			fmt.Printf("observability endpoint on http://%s/\n\n", ln.Addr())
+			stop = func() { srv.Close() }
+		}
+	}
+	reps, err := s.Run(workload.TenantSteps)
+	if err != nil {
+		// The poison route's early handler crashes are the scenario
+		// working as designed; anything else is fatal.
+		if !strings.Contains(err.Error(), "poison: handler crash") {
+			fail(err)
+		}
+		fmt.Printf("expected poison-route failures: %v\n\n", err)
+	}
+	defer finishObs(pl, stop, obsDump, hold && obsAddr != "")
+
+	names := append(append([]string(nil), workload.TenantVictims...), workload.TenantNoisy)
+	for _, name := range names {
+		rep := reps[name]
+		o := rep.Overload
+		r := rep.Resilience
+		fmt.Printf("tenant %s:\n", name)
+		fmt.Printf("  worst step wall      %v\n", rep.Metrics.MaxStepWall().Round(1e3))
+		fmt.Printf("  steps shaped/shed    %d/%d\n", o.StepsShaped, o.StepsShed)
+		fmt.Printf("  in-situ fallbacks    %d\n", o.StepsFallback)
+		fmt.Printf("  breaker opens        %d\n", o.BreakerOpens)
+		fmt.Printf("  retries/dead letters %d/%d\n", r.Retries, r.DeadLetters)
+		for _, ep := range s.TenantEndpoints(name) {
+			st := ep.Stats()
+			fmt.Printf("  endpoint %-16s %d retries, %d crc failures, %.3f MB moved\n",
+				ep.Name(), st.Retries, st.ChecksumFailures, float64(ep.TransferBytes())/1e6)
+		}
+	}
+
+	fmt.Println("\nshared fabric:")
+	q := s.Quarantine()
+	fmt.Printf("  quarantine           %d opens, %d releases, %s/%s now %v\n",
+		q.Opens(), q.Releases(), workload.TenantNoisy, workload.PoisonRouteName,
+		q.State(workload.TenantNoisy, workload.PoisonRouteName))
+	if a := s.Autoscaler(); a != nil {
+		fmt.Printf("  bucket pool          %d grows, %d shrinks, %d active\n",
+			a.Grows(), a.Shrinks(), s.Staging().ActiveBuckets())
+	}
+	out, avail, total := s.Credits().Snapshot()
+	fmt.Printf("  credits              %d/%d available, %d outstanding\n", avail, total, out)
+
+	fmt.Println("\nrecovery:")
+	for _, name := range workload.TenantVictims {
+		rep := reps[name]
+		for _, route := range routes {
+			lastDegraded := 0
+			for step := 1; step <= workload.TenantSteps; step++ {
+				if _, ok := rep.Result(route, step).(core.Degraded); ok {
+					lastDegraded = step
+				}
+			}
+			if lastDegraded == 0 {
+				fmt.Printf("  %s/%-28s never degraded\n", name, route)
+			} else {
+				fmt.Printf("  %s/%-28s full hybrid again from step %d/%d\n",
+					name, route, lastDegraded+1, workload.TenantSteps)
+			}
+		}
+	}
 }
 
 // setupObs enables the observability plane when -obs or -obs-dump was

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insitu/internal/bufpool"
@@ -91,6 +92,20 @@ type Pipeline struct {
 	// Recovery plane (nil when Config.Recovery is nil).
 	rec *recState
 
+	// Multi-tenant plane (zero/nil outside a Scheduler). tenant is the
+	// pipeline's tenant name, sched the owning scheduler, preEps the
+	// rank endpoints the scheduler pre-registered (rank id → endpoint),
+	// quar the shared poison-route quarantine, and curLevel the worst
+	// ladder level of the latest admission pass, exported for the
+	// autoscaler. A tenant-less pipeline (tenant == "", sched == nil)
+	// behaves byte-for-byte as before.
+	tenant   string
+	sched    *Scheduler
+	preEps   map[int]*dart.Endpoint
+	quar     *overload.Quarantine
+	weight   int
+	curLevel atomic.Int64
+
 	mu      sync.Mutex
 	results map[string]map[int]any // analysis -> step -> output
 	runErrs []error
@@ -125,12 +140,14 @@ type routeState struct {
 
 // admitDecision is rank 0's per-analysis admission verdict for one
 // step, broadcast so every rank takes the same branch (the in-situ
-// fallbacks use collectives).
+// fallbacks use collectives). Probe marks the single task a quarantined
+// route is allowed to send while half-open.
 type admitDecision struct {
 	Name     string
 	Level    overload.Level
 	Reason   string
 	Credited bool
+	Probe    bool
 }
 
 // NewPipeline validates the configuration and builds all subsystems.
@@ -501,6 +518,9 @@ func (p *Pipeline) run(steps int, resume bool) (*Report, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("core: steps must be >= 1")
 	}
+	if p.sched != nil {
+		return nil, fmt.Errorf("core: tenant %q belongs to a scheduler; call Scheduler.Run", p.tenant)
+	}
 	p.mu.Lock()
 	if p.ran {
 		p.mu.Unlock()
@@ -526,18 +546,8 @@ func (p *Pipeline) run(steps int, resume bool) (*Report, error) {
 	if p.ov != nil {
 		p.ds.SetQueueBound(p.ov.QueueBound)
 		reservations := make(map[string]int)
-		for _, a := range p.analyses {
-			if _, ok := a.(hybridStage); ok {
-				reservations[a.Name()] = p.ov.Reserve
-				// Route insertion is p.mu-guarded because scrape-time
-				// metric functions iterate p.routes concurrently.
-				p.mu.Lock()
-				p.routes[a.Name()] = &routeState{
-					breaker: overload.NewBreaker(p.ov.Breaker),
-					ladder:  overload.NewLadder(p.ov.Ladder),
-				}
-				p.mu.Unlock()
-			}
+		for _, name := range p.buildRoutes() {
+			reservations[name] = p.ov.Reserve
 		}
 		total := p.ov.Credits
 		if total <= 0 {
@@ -554,23 +564,8 @@ func (p *Pipeline) run(steps int, resume bool) (*Report, error) {
 		}
 	}
 
-	// Install staging handlers. Streaming stages take precedence when
-	// an analysis implements both kinds.
-	for _, a := range p.analyses {
-		if sh, ok := a.(StreamingHybridAnalysis); ok {
-			shh := sh
-			p.area.HandleStream(sh.Name(), func(task dataspaces.Task, in <-chan staging.StreamInput) (any, error) {
-				return shh.InTransitStream(task.Step, in)
-			})
-			continue
-		}
-		if h, ok := a.(HybridAnalysis); ok {
-			hh := h
-			p.area.Handle(h.Name(), func(task dataspaces.Task, data [][]byte) (any, error) {
-				return hh.InTransit(task.Step, data)
-			})
-		}
-	}
+	// Install staging handlers and start the buckets.
+	p.installHandlers()
 	p.area.Start()
 
 	// Drain results concurrently with the simulation.
@@ -578,48 +573,7 @@ func (p *Pipeline) run(steps int, resume bool) (*Report, error) {
 	go func() {
 		defer close(drained)
 		for res := range p.area.Results() {
-			if p.tl != nil {
-				p.tl.Add(fmt.Sprintf("bucket-%d", res.Bucket),
-					fmt.Sprintf("%s@%d", res.Task.Analysis, res.Task.Step),
-					res.Start, res.End)
-			}
-			p.observeResult(res)
-			switch {
-			case res.DeadLetter:
-				// The task's data already left the ranks, so no in-situ
-				// fallback is possible; the step is explicitly degraded
-				// rather than silently missing or a hard failure.
-				p.storeResult(res.Task.Analysis, res.Task.Step,
-					Degraded{Reason: res.Err.Error()})
-				p.col.AddDegradedStep()
-				if p.tl != nil {
-					p.tl.Mark(fmt.Sprintf("bucket-%d", res.Bucket),
-						fmt.Sprintf("dead-letter %s@%d", res.Task.Analysis, res.Task.Step), res.End)
-				}
-			case res.Err != nil:
-				p.recordErr(fmt.Errorf("core: in-transit %s step %d: %w",
-					res.Task.Analysis, res.Task.Step, res.Err))
-			case res.Task.Shaped > 0:
-				// A shaped step completed on the transit path, but at
-				// reduced fidelity: mark it so consumers can tell it from
-				// a full-quality result.
-				p.storeResult(res.Task.Analysis, res.Task.Step, Degraded{
-					Reason: fmt.Sprintf("shaped: coarser payload (level %d)", res.Task.Shaped),
-					Value:  res.Output,
-				})
-			default:
-				p.storeResult(res.Task.Analysis, res.Task.Step, res.Output)
-			}
-			// The serialized (sum) modeled pull time is the right
-			// "data movement time": a single bucket's ingress link
-			// admits one RDMA stream's worth of bandwidth at a time.
-			p.col.RecordTransit(res.Task.Analysis, res.MoveModeledSum, res.MoveWall,
-				res.BytesMoved, res.ComputeWall)
-			p.mu.Lock()
-			p.completed++
-			p.mu.Unlock()
-			p.maybeCommitSteps()
-			p.maybeCloseDS()
+			p.handleResult(res)
 		}
 	}()
 
@@ -637,6 +591,13 @@ func (p *Pipeline) run(steps int, resume bool) (*Report, error) {
 	p.area.Wait()
 	<-drained
 
+	return p.finishReport(steps)
+}
+
+// finishReport folds the run's counters into the collector and builds
+// the final Report. Called once per pipeline, after its simulation has
+// finished and the drain has delivered every final result.
+func (p *Pipeline) finishReport(steps int) (*Report, error) {
 	p.col.RecordResilience(p.resilience())
 	if p.ov != nil {
 		var o metrics.Overload
@@ -680,10 +641,94 @@ func (p *Pipeline) run(steps int, resume bool) (*Report, error) {
 	return rep, nil
 }
 
+// installHandlers registers the analyses' in-transit handlers on the
+// staging area under this pipeline's tenant ("" outside a scheduler).
+// Streaming stages take precedence when an analysis implements both
+// kinds.
+func (p *Pipeline) installHandlers() {
+	for _, a := range p.analyses {
+		if sh, ok := a.(StreamingHybridAnalysis); ok {
+			shh := sh
+			p.area.HandleStreamT(p.tenant, sh.Name(), func(task dataspaces.Task, in <-chan staging.StreamInput) (any, error) {
+				return shh.InTransitStream(task.Step, in)
+			})
+			continue
+		}
+		if h, ok := a.(HybridAnalysis); ok {
+			hh := h
+			p.area.HandleT(p.tenant, h.Name(), func(task dataspaces.Task, data [][]byte) (any, error) {
+				return hh.InTransit(task.Step, data)
+			})
+		}
+	}
+}
+
+// handleResult folds one final in-transit result into the pipeline:
+// trace spans, breaker/quarantine bookkeeping, result storage, transit
+// metrics, and drain accounting. Exactly one goroutine per pipeline
+// calls it — the pipeline's own drain loop, or the scheduler's shared
+// one dispatching by tenant.
+func (p *Pipeline) handleResult(res staging.Result) {
+	if p.tl != nil {
+		p.tl.Add(fmt.Sprintf("bucket-%d", res.Bucket),
+			fmt.Sprintf("%s@%d", res.Task.Analysis, res.Task.Step),
+			res.Start, res.End)
+	}
+	p.observeResult(res)
+	if p.quar != nil {
+		if res.Task.Probe {
+			p.quar.RecordProbe(p.tenant, res.Task.Analysis, res.Err == nil)
+		} else {
+			p.quar.Settle(p.tenant, res.Task.Analysis, res.Err == nil)
+		}
+	}
+	switch {
+	case res.DeadLetter:
+		// The task's data already left the ranks, so no in-situ
+		// fallback is possible; the step is explicitly degraded
+		// rather than silently missing or a hard failure.
+		p.storeResult(res.Task.Analysis, res.Task.Step,
+			Degraded{Reason: res.Err.Error()})
+		p.col.AddDegradedStep()
+		if p.tl != nil {
+			p.tl.Mark(fmt.Sprintf("bucket-%d", res.Bucket),
+				fmt.Sprintf("dead-letter %s@%d", res.Task.Analysis, res.Task.Step), res.End)
+		}
+	case res.Err != nil:
+		p.recordErr(fmt.Errorf("core: in-transit %s step %d: %w",
+			res.Task.Analysis, res.Task.Step, res.Err))
+	case res.Task.Shaped > 0:
+		// A shaped step completed on the transit path, but at
+		// reduced fidelity: mark it so consumers can tell it from
+		// a full-quality result.
+		p.storeResult(res.Task.Analysis, res.Task.Step, Degraded{
+			Reason: fmt.Sprintf("shaped: coarser payload (level %d)", res.Task.Shaped),
+			Value:  res.Output,
+		})
+	default:
+		p.storeResult(res.Task.Analysis, res.Task.Step, res.Output)
+	}
+	// The serialized (sum) modeled pull time is the right
+	// "data movement time": a single bucket's ingress link
+	// admits one RDMA stream's worth of bandwidth at a time.
+	p.col.RecordTransit(res.Task.Analysis, res.MoveModeledSum, res.MoveWall,
+		res.BytesMoved, res.ComputeWall)
+	p.mu.Lock()
+	p.completed++
+	p.mu.Unlock()
+	p.maybeCommitSteps()
+	p.maybeCloseDS()
+}
+
 // maybeCloseDS closes the task queue once the simulation has finished
 // and every submitted task has drained to its final Result. Close is
-// idempotent, so racing calls are harmless.
+// idempotent, so racing calls are harmless. Under a scheduler, the
+// queue is shared: the close decision aggregates every tenant.
 func (p *Pipeline) maybeCloseDS() {
+	if p.sched != nil {
+		p.sched.maybeClose()
+		return
+	}
 	p.mu.Lock()
 	done := p.simDone && p.completed == p.submitted
 	p.mu.Unlock()
@@ -692,9 +737,44 @@ func (p *Pipeline) maybeCloseDS() {
 	}
 }
 
-// resilience snapshots the failure counters across all layers.
+// buildRoutes gives every hybrid analysis its breaker and ladder and
+// returns the route names, in registration order. Requires p.ov.
+func (p *Pipeline) buildRoutes() []string {
+	var names []string
+	for _, a := range p.analyses {
+		if _, ok := a.(hybridStage); ok {
+			names = append(names, a.Name())
+			// Route insertion is p.mu-guarded because scrape-time
+			// metric functions iterate p.routes concurrently.
+			p.mu.Lock()
+			p.routes[a.Name()] = &routeState{
+				breaker: overload.NewBreaker(p.ov.Breaker),
+				ladder:  overload.NewLadder(p.ov.Ladder),
+			}
+			p.mu.Unlock()
+		}
+	}
+	return names
+}
+
+// resilience snapshots the failure counters across all layers. Under a
+// scheduler the transport counters come from the tenant's own rank
+// endpoints (owner-attributed), while queue/bucket counters stay
+// fabric-wide: buckets are shared, so requeues and crashes are not a
+// per-tenant quantity.
 func (p *Pipeline) resilience() metrics.Resilience {
 	fs := p.fabric.Stats()
+	if p.tenant != "" {
+		var retries, crc int64
+		p.mu.Lock()
+		for _, ep := range p.eps {
+			s := ep.Stats()
+			retries += s.Retries
+			crc += s.ChecksumFailures
+		}
+		p.mu.Unlock()
+		fs.Retries, fs.ChecksumFailures = retries, crc
+	}
 	as := p.area.Resilience()
 	return metrics.Resilience{
 		Faults:           p.net.Stats().Faulted,
@@ -740,11 +820,16 @@ func (p *Pipeline) markBreaker(name string, prev, cur overload.BreakerState, ste
 		p.tl.Mark("overload", fmt.Sprintf("%s breaker %s→%s@%d", name, prev, cur, step), time.Now())
 	}
 	if p.plane != nil {
-		p.plane.Recorder().Event(0, obs.CatAdmit, "overload", "breaker.transition", time.Now(),
+		attrs := []obs.Attr{
 			obs.Str("analysis", name),
 			obs.Str("from", prev.String()),
 			obs.Str("to", cur.String()),
-			obs.Int("step", step))
+			obs.Int("step", step),
+		}
+		if p.tenant != "" {
+			attrs = append(attrs, obs.Str("tenant", p.tenant))
+		}
+		p.plane.Recorder().Event(0, obs.CatAdmit, "overload", "breaker.transition", time.Now(), attrs...)
 	}
 }
 
@@ -757,12 +842,17 @@ func (p *Pipeline) observeAdmit(step int, d admitDecision) {
 	if c := p.admitCtr[d.Level]; c != nil {
 		c.Inc()
 	}
-	p.plane.Recorder().Event(0, obs.CatAdmit, "overload", "admit", time.Now(),
+	attrs := []obs.Attr{
 		obs.Str("analysis", d.Name),
 		obs.Str("level", d.Level.String()),
 		obs.Int("step", step),
 		obs.Bool("credited", d.Credited),
-		obs.Str("reason", d.Reason))
+		obs.Str("reason", d.Reason),
+	}
+	if p.tenant != "" {
+		attrs = append(attrs, obs.Str("tenant", p.tenant))
+	}
+	p.plane.Recorder().Event(0, obs.CatAdmit, "overload", "admit", time.Now(), attrs...)
 }
 
 // probeRoute runs the half-open health probe: a tiny Get against the
@@ -789,14 +879,47 @@ func (p *Pipeline) probeRoute(ep *dart.Endpoint) bool {
 // step — admission never blocks and never over-commits the tier.
 func (p *Pipeline) admitStep(ep *dart.Endpoint, step int) []admitDecision {
 	var out []admitDecision
+	stepMax := overload.LevelFull
 	credits := p.ds.Credits()
-	p.est.ObserveQueue(float64(p.ds.QueueDepth()))
+	p.est.ObserveQueue(float64(p.queueDepth()))
 	for _, a := range p.analyses {
 		an, ok := a.(hybridStage)
 		if !ok || !due(a, step) {
 			continue
 		}
 		name := an.Name()
+		// Quarantine outranks the breaker: a poisoned (tenant, analysis)
+		// route fails in the handler, not in transit, so transit-health
+		// probing cannot clear it. A rejected route floors at the
+		// in-situ rung without touching breaker, ladder, or credits; a
+		// half-open route sends exactly one full-fidelity probe task.
+		if p.quar != nil {
+			switch p.quar.Allow(p.tenant, name) {
+			case overload.QReject:
+				d := admitDecision{Name: name, Level: overload.LevelInSitu,
+					Reason: "in-situ: route quarantined"}
+				p.observeAdmit(step, d)
+				out = append(out, d)
+				stepMax = maxLevel(stepMax, d.Level)
+				continue
+			case overload.QProbe:
+				d := admitDecision{Name: name, Level: overload.LevelFull,
+					Reason: "full: quarantine half-open probe", Probe: true}
+				if credits != nil && !credits.Acquire(p.creditAccount(name)) {
+					// No capacity to probe with: the attempt is spent, the
+					// route stays quarantined until the next probe window.
+					p.quar.RecordProbe(p.tenant, name, false)
+					d = admitDecision{Name: name, Level: overload.LevelInSitu,
+						Reason: "in-situ: quarantine probe denied credit"}
+				} else if credits != nil {
+					d.Credited = true
+				}
+				p.observeAdmit(step, d)
+				out = append(out, d)
+				stepMax = maxLevel(stepMax, d.Level)
+				continue
+			}
+		}
 		rs := p.routes[name]
 		now := time.Now()
 		prev := rs.breaker.State()
@@ -809,7 +932,7 @@ func (p *Pipeline) admitStep(ep *dart.Endpoint, step int) []admitDecision {
 
 		sig := overload.Signals{
 			BreakerOpen:      cur != overload.Closed,
-			CreditsExhausted: credits.Exhausted(name),
+			CreditsExhausted: credits.Exhausted(p.creditAccount(name)),
 			QueueDepth:       p.est.Queue(),
 			Latency:          p.est.Latency(),
 		}
@@ -834,7 +957,7 @@ func (p *Pipeline) admitStep(ep *dart.Endpoint, step int) []admitDecision {
 		}
 		credited := false
 		if level <= overload.LevelShaped {
-			if credits.Acquire(name) {
+			if credits.Acquire(p.creditAccount(name)) {
 				credited = true
 			} else {
 				level = overload.LevelInSitu
@@ -848,8 +971,39 @@ func (p *Pipeline) admitStep(ep *dart.Endpoint, step int) []admitDecision {
 		d := admitDecision{Name: name, Level: level, Reason: reason, Credited: credited}
 		p.observeAdmit(step, d)
 		out = append(out, d)
+		stepMax = maxLevel(stepMax, level)
 	}
+	// The worst level of this pass is the tenant's pressure signal for
+	// the scheduler's autoscaler (atomic: the drain goroutine reads it).
+	p.curLevel.Store(int64(stepMax))
 	return out
+}
+
+// maxLevel returns the more degraded of two ladder levels.
+func maxLevel(a, b overload.Level) overload.Level {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// creditAccount maps a route to its flow-control account: under a
+// scheduler every route of a tenant draws from the tenant's account
+// (the bulkhead); standalone pipelines keep per-analysis accounts.
+func (p *Pipeline) creditAccount(name string) string {
+	if p.tenant != "" {
+		return p.tenant
+	}
+	return name
+}
+
+// queueDepth is the pipeline's own backlog: its tenant queue under a
+// scheduler, the global queue otherwise.
+func (p *Pipeline) queueDepth() int {
+	if p.tenant != "" {
+		return p.ds.QueueDepthT(p.tenant)
+	}
+	return p.ds.QueueDepth()
 }
 
 // Credits returns the transit tier's credit account (nil unless
@@ -874,7 +1028,10 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 	if err != nil {
 		return err
 	}
-	ep := p.fabric.Register(fmt.Sprintf("sim-%d", r.ID()))
+	ep := p.preEps[r.ID()]
+	if ep == nil {
+		ep = p.fabric.Register(fmt.Sprintf("sim-%d", r.ID()))
+	}
 	p.mu.Lock()
 	p.eps[ep.ID()] = ep
 	p.mu.Unlock()
@@ -889,11 +1046,18 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 	}
 
 	// Per-route codec keys (analysis × rank — one producer stream
-	// each), precomputed so the hot loop does not build strings.
+	// each), precomputed so the hot loop does not build strings. Under
+	// a scheduler the key is tenant-qualified: the codec registry is
+	// shared, and two tenants running the same analysis must not chain
+	// their delta streams.
 	codecKeys := make(map[string]string, len(p.analyses))
 	for _, a := range p.analyses {
 		if _, ok := a.(hybridStage); ok {
-			codecKeys[a.Name()] = codec.Key(a.Name(), r.ID())
+			route := a.Name()
+			if p.tenant != "" {
+				route = p.tenant + "/" + a.Name()
+			}
+			codecKeys[a.Name()] = codec.Key(route, r.ID())
 		}
 	}
 
@@ -1076,6 +1240,7 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 					continue
 				}
 				p.ds.Put(dataspaces.Descriptor{
+					Tenant:  p.tenant,
 					Name:    an.Name(),
 					Version: step,
 					Box:     rk.OwnedBox(),
@@ -1104,16 +1269,17 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 					if admitted && dec.Level > overload.LevelShaped {
 						continue // shed or fell back in-situ: nothing staged
 					}
-					inputs := p.ds.Query(a.Name(), step)
+					inputs := p.ds.QueryT(p.tenant, a.Name(), step)
 					sortByRank(inputs)
 					spec := dataspaces.TaskSpec{
-						Analysis: a.Name(), Step: step, Inputs: inputs, Deadline: deadline,
+						Tenant: p.tenant, Analysis: a.Name(), Step: step, Inputs: inputs, Deadline: deadline,
 					}
 					if admitted {
 						if dec.Level == overload.LevelShaped {
 							spec.Shaped = 1
 						}
 						spec.Credited = dec.Credited
+						spec.Probe = dec.Probe
 					}
 					if _, err := p.ds.SubmitSpec(spec); err != nil {
 						if errors.Is(err, dataspaces.ErrDuplicateTask) {
@@ -1138,7 +1304,7 @@ func (p *Pipeline) rankLoop(r *comm.Rank, steps int) error {
 							p.recKill(recovery.PhaseMidSubmit, step)
 						}
 					}
-					p.ds.Remove(a.Name(), step)
+					p.ds.RemoveT(p.tenant, a.Name(), step)
 				}
 			}
 		}
@@ -1235,16 +1401,22 @@ func (p *Pipeline) shedSubmitted(name string, step int, inputs []dataspaces.Desc
 	}
 	if dec.Credited {
 		if c := p.ds.Credits(); c != nil {
-			c.Release(name)
+			c.Release(p.creditAccount(name))
 		}
+	}
+	// A credited quarantine probe that never reached the queue is a
+	// failed probe: the route stays quarantined until the next window.
+	if dec.Probe && p.quar != nil {
+		p.quar.RecordProbe(p.tenant, name, false)
 	}
 	p.storeResult(name, step, Degraded{Reason: fmt.Sprintf("shed: %v", cause)})
 	p.col.AddShedStep()
 	if p.tl != nil {
 		p.tl.Mark("overload", fmt.Sprintf("%s shed at submit@%d", name, step), time.Now())
 	}
-	if !errors.Is(cause, dataspaces.ErrQueueFull) {
-		// Backpressure is expected; anything else is a real error too.
+	if !errors.Is(cause, dataspaces.ErrQueueFull) && !errors.Is(cause, overload.ErrQuarantined) {
+		// Backpressure and the quarantine guard are expected; anything
+		// else is a real error too.
 		p.recordErr(fmt.Errorf("core: submit %s step %d: %w", name, step, cause))
 	}
 }

@@ -255,6 +255,17 @@ func (f *Fabric) SetPlane(pl *obs.Plane) {
 	reg.GaugeFunc("dart_codec_max_reconstruction_error", "worst bounded reconstruction error introduced by a lossy encode",
 		func() float64 { return math.Float64frombits(f.maxErrBits.Load()) })
 	f.obs.Store(fo)
+	// Endpoints registered before the plane attached get their
+	// owner-attributed series now; later registrations add their own.
+	f.mu.Lock()
+	eps := make([]*Endpoint, 0, len(f.eps))
+	for _, ep := range f.eps {
+		eps = append(eps, ep)
+	}
+	f.mu.Unlock()
+	for _, ep := range eps {
+		registerEndpointMetrics(reg, ep)
+	}
 }
 
 // observeOp records one finished Get/Put: a span on the calling
@@ -410,18 +421,47 @@ type region struct {
 // Endpoint is one attached node: a simulation rank, a DataSpaces
 // server, or a staging bucket.
 type Endpoint struct {
-	f    *Fabric
-	id   int
-	name string
+	f      *Fabric
+	id     int
+	name   string
+	tenant string
 
 	mu      sync.Mutex
 	nextReg int
 	regions map[int]*region
 	closed  bool
 
+	// Per-endpoint resilience counters, charged to the *region owner*
+	// of each transaction: a retry against tenant X's data counts
+	// against X's series no matter which bucket issued the pull, so
+	// per-tenant dashboards do not alias into one global line.
+	retries   atomic.Int64
+	crcFails  atomic.Int64
+	deadlines atomic.Int64
+	bytes     atomic.Int64
+
 	events chan Event
 	msgs   chan Message
 }
+
+// Tenant returns the tenant label the endpoint was registered under
+// (empty for single-tenant fabrics).
+func (ep *Endpoint) Tenant() string { return ep.tenant }
+
+// Stats returns the endpoint's owner-attributed resilience counters:
+// retries, checksum failures, and deadline abandons charged against
+// regions this endpoint owns.
+func (ep *Endpoint) Stats() Stats {
+	return Stats{
+		Retries:          ep.retries.Load(),
+		ChecksumFailures: ep.crcFails.Load(),
+		DeadlineExceeded: ep.deadlines.Load(),
+	}
+}
+
+// TransferBytes returns the payload bytes successfully moved out of or
+// into regions this endpoint owns.
+func (ep *Endpoint) TransferBytes() int64 { return ep.bytes.Load() }
 
 // Message is a small control message delivered over the SMSG path.
 type Message struct {
@@ -433,19 +473,63 @@ type Message struct {
 // Register attaches a new endpoint to the fabric. The returned
 // endpoint buffers up to 1024 pending events and messages.
 func (f *Fabric) Register(name string) *Endpoint {
+	return f.RegisterT(name, "")
+}
+
+// RegisterT is Register with a tenant label: the endpoint's
+// owner-attributed counters are exported under that tenant so each
+// tenant's transport activity is its own metric series.
+func (f *Fabric) RegisterT(name, tenant string) *Endpoint {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	ep := &Endpoint{
 		f:       f,
 		id:      f.next,
 		name:    name,
+		tenant:  tenant,
 		regions: make(map[int]*region),
 		events:  make(chan Event, 1024),
 		msgs:    make(chan Message, 1024),
 	}
 	f.next++
 	f.eps[ep.id] = ep
+	f.mu.Unlock()
+	if fo := f.obs.Load(); fo != nil {
+		registerEndpointMetrics(fo.plane.Registry(), ep)
+	}
 	return ep
+}
+
+// registerEndpointMetrics publishes one endpoint's owner-attributed
+// counters as endpoint+tenant labeled series (scrape-time funcs over
+// the endpoint's atomics). The registry is idempotent by name+labels,
+// so re-registration after a plane swap is harmless.
+func registerEndpointMetrics(reg *obs.Registry, ep *Endpoint) {
+	tenant := ep.tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	labels := []obs.Attr{obs.Str("endpoint", ep.name), obs.Str("tenant", tenant)}
+	reg.CounterFunc("dart_endpoint_retries_total",
+		"retried Get/Put attempts charged to the region-owning endpoint",
+		func() float64 { return float64(ep.retries.Load()) }, labels...)
+	reg.CounterFunc("dart_endpoint_checksum_failures_total",
+		"corrupted payloads caught by CRC32, charged to the region-owning endpoint",
+		func() float64 { return float64(ep.crcFails.Load()) }, labels...)
+	reg.CounterFunc("dart_endpoint_deadline_exceeded_total",
+		"operations abandoned at their deadline, charged to the region-owning endpoint",
+		func() float64 { return float64(ep.deadlines.Load()) }, labels...)
+	reg.CounterFunc("dart_endpoint_transfer_bytes_total",
+		"payload bytes moved out of or into regions the endpoint owns",
+		func() float64 { return float64(ep.bytes.Load()) }, labels...)
+}
+
+// ownerOf resolves the endpoint owning a handle's region, or nil if it
+// has unregistered — used by the retry loops to charge failures to the
+// region owner.
+func (f *Fabric) ownerOf(id int) *Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eps[id]
 }
 
 // Unregister detaches the endpoint and releases its regions. In-flight
@@ -661,7 +745,7 @@ func (ep *Endpoint) getDeadline(h MemHandle, deadline time.Time) ([]byte, time.D
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			ep.f.deadlines.Add(1)
+			ep.f.chargeDeadline(h)
 			return nil, total, attempt, deadlineErr("get", h, lastErr)
 		}
 		data, d, err := ep.getOnce(h)
@@ -676,14 +760,33 @@ func (ep *Endpoint) getDeadline(h MemHandle, deadline time.Time) ([]byte, time.D
 		if attempt >= max(pol.MaxAttempts, 1) {
 			return nil, total, attempt, fmt.Errorf("dart: get %+v failed after %d attempts: %w", h, attempt, err)
 		}
-		ep.f.retries.Add(1)
+		ep.f.chargeRetry(h)
 		ep.f.observeRetry("get", ep, attempt, err)
 		back := pol.backoff(attempt, ep.f.jitter)
 		if !deadline.IsZero() && time.Now().Add(back).After(deadline) {
-			ep.f.deadlines.Add(1)
+			ep.f.chargeDeadline(h)
 			return nil, total, attempt, deadlineErr("get", h, lastErr)
 		}
 		time.Sleep(back)
+	}
+}
+
+// chargeRetry and chargeDeadline tally a transfer failure both
+// fabric-wide (Fabric.Stats, unchanged) and against the endpoint that
+// owns the region in flight, so per-endpoint/tenant series attribute
+// the noise to the tenant whose data was being moved rather than to
+// whichever bucket happened to issue the RPC.
+func (f *Fabric) chargeRetry(h MemHandle) {
+	f.retries.Add(1)
+	if o := f.ownerOf(h.Endpoint); o != nil {
+		o.retries.Add(1)
+	}
+}
+
+func (f *Fabric) chargeDeadline(h MemHandle) {
+	f.deadlines.Add(1)
+	if o := f.ownerOf(h.Endpoint); o != nil {
+		o.deadlines.Add(1)
 	}
 }
 
@@ -716,6 +819,7 @@ func (ep *Endpoint) getOnce(h MemHandle) ([]byte, time.Duration, error) {
 	if crc32.ChecksumIEEE(data) != sum {
 		bufpool.Put(data)
 		ep.f.crcFails.Add(1)
+		owner.crcFails.Add(1)
 		return nil, d, fmt.Errorf("dart: get %+v: %w", h, ErrChecksum)
 	}
 	if framed {
@@ -738,6 +842,7 @@ func (ep *Endpoint) getOnce(h MemHandle) ([]byte, time.Duration, error) {
 		}
 		data = raw
 	}
+	owner.bytes.Add(int64(len(src)))
 	ev := Event{Type: EventGetDone, Handle: h, Bytes: len(src), Duration: d, Path: ep.f.net.Select(len(src))}
 	evSrc := ev
 	evSrc.Peer = ep.id
@@ -797,7 +902,7 @@ func (ep *Endpoint) putDeadline(h MemHandle, data []byte, deadline time.Time) (t
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			ep.f.deadlines.Add(1)
+			ep.f.chargeDeadline(h)
 			return total, attempt, deadlineErr("put", h, lastErr)
 		}
 		d, err := ep.putOnce(h, data)
@@ -812,11 +917,11 @@ func (ep *Endpoint) putDeadline(h MemHandle, data []byte, deadline time.Time) (t
 		if attempt >= max(pol.MaxAttempts, 1) {
 			return total, attempt, fmt.Errorf("dart: put %+v failed after %d attempts: %w", h, attempt, err)
 		}
-		ep.f.retries.Add(1)
+		ep.f.chargeRetry(h)
 		ep.f.observeRetry("put", ep, attempt, err)
 		back := pol.backoff(attempt, ep.f.jitter)
 		if !deadline.IsZero() && time.Now().Add(back).After(deadline) {
-			ep.f.deadlines.Add(1)
+			ep.f.chargeDeadline(h)
 			return total, attempt, deadlineErr("put", h, lastErr)
 		}
 		time.Sleep(back)
@@ -854,6 +959,7 @@ func (ep *Endpoint) putOnce(h MemHandle, data []byte) (time.Duration, error) {
 	if crc32.ChecksumIEEE(scratch) != sum {
 		bufpool.Put(scratch)
 		ep.f.crcFails.Add(1)
+		owner.crcFails.Add(1)
 		return d, fmt.Errorf("dart: put %+v: %w", h, ErrChecksum)
 	}
 	owner.mu.Lock()
@@ -872,6 +978,7 @@ func (ep *Endpoint) putOnce(h MemHandle, data []byte) (time.Duration, error) {
 	r.crc = crc32.ChecksumIEEE(r.data)
 	owner.mu.Unlock()
 	bufpool.Put(scratch)
+	owner.bytes.Add(int64(len(data)))
 	path := ep.f.net.Select(len(data))
 	ev := Event{Type: EventPutDone, Handle: h, Bytes: len(data), Duration: d, Path: path}
 	evSrc := ev

@@ -129,6 +129,19 @@ func (c *Credits) Total() int {
 	return c.total
 }
 
+// Snapshot returns (outstanding, available, total) read under one
+// lock, so the invariant outstanding + available == total can be
+// asserted atomically while other goroutines churn the account.
+func (c *Credits) Snapshot() (outstanding, available, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	available = c.shared
+	for _, r := range c.reserved {
+		available += r.avail
+	}
+	return c.outstanding, available, c.total
+}
+
 // Denied returns how many Acquire calls were refused.
 func (c *Credits) Denied() int64 {
 	c.mu.Lock()

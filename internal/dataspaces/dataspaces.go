@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,10 +37,15 @@ type Descriptor struct {
 	Box     grid.Box       // spatial region covered
 	Rank    int            // producing simulation rank
 	Handle  dart.MemHandle // where the bytes live
+	// Tenant scopes the descriptor to one pipeline in a multi-tenant
+	// fabric; empty for single-tenant runs (whose index keys and shard
+	// hashes are unchanged).
+	Tenant string
 }
 
 // key is the index key descriptors are sharded and grouped by.
 type key struct {
+	tenant  string
 	name    string
 	version int
 }
@@ -75,6 +81,30 @@ type Task struct {
 	// for this task; FinishTask releases it exactly once when the
 	// task's final result settles. It survives requeues.
 	Credited bool
+	// Tenant names the submitting pipeline in a multi-tenant fabric;
+	// empty for single-tenant runs. It selects the credit account the
+	// task settles against and the per-tenant queue it is scheduled
+	// from.
+	Tenant string
+	// Probe marks a quarantine half-open probe: the one task a
+	// quarantined (tenant, analysis) route is allowed to submit so its
+	// disposition can decide between release and re-open. Probes pass
+	// the admission guard.
+	Probe bool
+	// History accumulates one line per failed attempt (cause summaries)
+	// so a dead-letter report can show how the task died, not just that
+	// it did. It survives requeues.
+	History []string
+}
+
+// CreditAccount returns the account the task's credit settles against:
+// the tenant in a multi-tenant fabric, the analysis (the legacy
+// per-analysis reservation key) otherwise.
+func (t Task) CreditAccount() string {
+	if t.Tenant != "" {
+		return t.Tenant
+	}
+	return t.Analysis
 }
 
 // TaskSpec describes a task submission.
@@ -85,6 +115,8 @@ type TaskSpec struct {
 	Deadline time.Time
 	Shaped   int
 	Credited bool
+	Tenant   string
+	Probe    bool
 }
 
 // Service is the coordination service: a sharded descriptor index plus
@@ -95,10 +127,22 @@ type Service struct {
 
 	mu      sync.Mutex
 	nextID  int64
-	queue   []Task      // pending tasks, FIFO
-	waiting []chan Task // free buckets, FIFO
+	queue   []Task    // pending tasks, FIFO (single-tenant FCFS mode)
+	waiting []*waiter // free buckets, FIFO
 	closed  bool
 	bound   int // max queued (unassigned) tasks; 0 = unbounded
+
+	// Fair-dequeue (deficit round robin) state; nil/false = FCFS.
+	fair    bool
+	tq      map[string][]Task // per-tenant FIFO queues
+	order   []string          // sorted tenant names, the DRR ring
+	weights map[string]int    // DRR quantum per tenant (default 1)
+	deficit map[string]int
+	rr      int    // ring position
+	newTurn bool   // quantum not yet granted at the current position
+	head    []Task // requeued tasks, served before any tenant queue
+
+	guard func(tenant, analysis string, probe bool) error
 
 	credits *Credits
 	dedup   map[TaskKey]bool // accepted (analysis, step) pairs; nil = dedup off
@@ -107,6 +151,13 @@ type Service struct {
 	requeues int64 // failed tasks pushed back for another attempt
 
 	plane atomic.Pointer[obs.Plane]
+}
+
+// waiter is one blocked bucket-ready request. The channel is buffered
+// so an assigning submitter never blocks on a receiver that is
+// concurrently cancelling.
+type waiter struct {
+	ch chan Task
 }
 
 // New creates a service with the given number of index servers
@@ -193,12 +244,17 @@ func (s *Service) observeSubmit(t Task) {
 	if pl == nil {
 		return
 	}
-	pl.Recorder().Event(0, obs.CatTask, "queue", "task.submit", time.Now(),
+	attrs := []obs.Attr{
 		obs.Int64("task", t.ID),
 		obs.Str("analysis", t.Analysis),
 		obs.Int("step", t.Step),
 		obs.Int("shaped", t.Shaped),
-		obs.Bool("credited", t.Credited))
+		obs.Bool("credited", t.Credited),
+	}
+	if t.Tenant != "" {
+		attrs = append(attrs, obs.Str("tenant", t.Tenant))
+	}
+	pl.Recorder().Event(0, obs.CatTask, "queue", "task.submit", time.Now(), attrs...)
 }
 
 // observeRequeue records a task.requeue lifecycle event.
@@ -214,6 +270,11 @@ func (s *Service) observeRequeue(t Task) {
 
 // ErrClosed is returned by blocking operations after Close.
 var ErrClosed = errors.New("dataspaces: service closed")
+
+// ErrCancelled is returned by BucketReadyCancel when the caller's
+// cancel channel fires before a task is assigned — the graceful path a
+// retiring bucket takes out of its blocking wait.
+var ErrCancelled = errors.New("dataspaces: bucket wait cancelled")
 
 // ErrQueueFull is returned by SubmitSpec when the bounded task queue is
 // at capacity and no bucket is waiting — the backpressure signal the
@@ -258,6 +319,130 @@ func (s *Service) SetQueueBound(n int) {
 	s.bound = n
 }
 
+// EnableFairDequeue replaces the global FCFS task queue with
+// deficit-round-robin fair scheduling over per-tenant queues: each
+// tenant earns `weight` dequeue credits per ring turn (default 1), so
+// a tenant flooding the queue cannot starve the others. Head-requeues
+// stay exempt — a requeued task already held queue occupancy once and
+// is served before any tenant queue, preserving the at-most-once
+// in-flight guarantee of the crash path. With a queue bound set, the
+// bound applies per tenant (each tenant owns its bulkhead's depth)
+// instead of globally. Call before traffic starts.
+func (s *Service) EnableFairDequeue(weights map[string]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fair = true
+	s.tq = make(map[string][]Task)
+	s.weights = make(map[string]int, len(weights))
+	s.deficit = make(map[string]int)
+	s.order = s.order[:0]
+	for name, w := range weights {
+		s.weights[name] = w
+		s.ensureTenantLocked(name)
+	}
+	s.rr = 0
+	s.newTurn = true
+}
+
+// ensureTenantLocked adds a tenant to the DRR ring, keeping the ring
+// sorted so scheduling order is deterministic regardless of submission
+// interleaving.
+func (s *Service) ensureTenantLocked(name string) {
+	i := sort.SearchStrings(s.order, name)
+	if i < len(s.order) && s.order[i] == name {
+		return
+	}
+	s.order = append(s.order, "")
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = name
+	if _, ok := s.tq[name]; !ok {
+		s.tq[name] = nil
+	}
+	// Keep the ring position pointing at the same tenant across the
+	// insertion.
+	if i <= s.rr && len(s.order) > 1 {
+		s.rr++
+	}
+}
+
+func (s *Service) weightLocked(name string) int {
+	if w := s.weights[name]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+func (s *Service) advanceLocked() {
+	s.rr = (s.rr + 1) % len(s.order)
+	s.newTurn = true
+}
+
+// nextTaskLocked pops the next task to assign, honouring head-requeues
+// first, then FCFS or DRR order depending on mode.
+func (s *Service) nextTaskLocked() (Task, bool) {
+	if len(s.head) > 0 {
+		t := s.head[0]
+		s.head = s.head[1:]
+		return t, true
+	}
+	if !s.fair {
+		if len(s.queue) == 0 {
+			return Task{}, false
+		}
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		return t, true
+	}
+	total := 0
+	for _, q := range s.tq {
+		total += len(q)
+	}
+	if total == 0 {
+		return Task{}, false
+	}
+	for {
+		name := s.order[s.rr]
+		q := s.tq[name]
+		if len(q) == 0 {
+			// An empty queue forfeits its unused deficit: DRR credit
+			// must not accumulate while a tenant is idle.
+			s.deficit[name] = 0
+			s.advanceLocked()
+			continue
+		}
+		if s.newTurn {
+			s.deficit[name] += s.weightLocked(name)
+			s.newTurn = false
+		}
+		if s.deficit[name] <= 0 {
+			s.advanceLocked()
+			continue
+		}
+		s.deficit[name]--
+		t := q[0]
+		s.tq[name] = q[1:]
+		if len(s.tq[name]) == 0 {
+			s.deficit[name] = 0
+			s.advanceLocked()
+		} else if s.deficit[name] == 0 {
+			s.advanceLocked()
+		}
+		return t, true
+	}
+}
+
+// SetAdmissionGuard installs a submission-time guard consulted by
+// SubmitSpec before a task enters the queue; a non-nil return rejects
+// the submission with that error. The scheduler wires the poison-route
+// quarantine through this hook (probe-marked submissions are the
+// quarantine's own half-open probes and must pass), keeping dataspaces
+// free of a policy-package dependency. Call before traffic starts.
+func (s *Service) SetAdmissionGuard(fn func(tenant, analysis string, probe bool) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guard = fn
+}
+
 // EnableCredits attaches a credit account to the service, sized to
 // `total` credits with the given per-analysis reservations. Producers
 // acquire credits before submitting; the staging tier settles them via
@@ -294,13 +479,18 @@ func (s *Service) FinishTask(t Task) {
 	c := s.credits
 	s.mu.Unlock()
 	if c != nil {
-		c.Release(t.Analysis)
+		c.Release(t.CreditAccount())
 	}
 }
 
-// shard returns the server responsible for a key.
+// shard returns the server responsible for a key. Tenant-less keys
+// hash exactly as before multi-tenancy, so single-tenant shard
+// placement (and the RPC balance tests riding on it) is unchanged.
 func (s *Service) shard(k key) *server {
 	h := fnv.New32a()
+	if k.tenant != "" {
+		fmt.Fprintf(h, "%s/", k.tenant)
+	}
 	fmt.Fprintf(h, "%s/%d", k.name, k.version)
 	return s.servers[int(h.Sum32())%len(s.servers)]
 }
@@ -311,8 +501,8 @@ func (s *Service) rpcCost(d Descriptor) {
 	if s.fabric == nil {
 		return
 	}
-	// name + version + box (6 ints) + handle (3 ints) + rank.
-	size := len(d.Name) + 8 + 6*8 + 3*8 + 8
+	// tenant + name + version + box (6 ints) + handle (3 ints) + rank.
+	size := len(d.Tenant) + len(d.Name) + 8 + 6*8 + 3*8 + 8
 	s.fabric.Network().Transfer(make([]byte, size))
 }
 
@@ -322,7 +512,7 @@ func (s *Service) rpcCost(d Descriptor) {
 // re-registration during journal replay is idempotent instead of
 // doubling a task's inputs.
 func (s *Service) Put(d Descriptor) {
-	k := key{d.Name, d.Version}
+	k := key{d.Tenant, d.Name, d.Version}
 	sv := s.shard(k)
 	s.rpcCost(d)
 	sv.mu.Lock()
@@ -341,9 +531,16 @@ func (s *Service) Put(d Descriptor) {
 	sv.mu.Unlock()
 }
 
-// Query returns all descriptors registered under (name, version).
+// Query returns all descriptors registered under (name, version) in
+// the tenant-less namespace.
 func (s *Service) Query(name string, version int) []Descriptor {
-	k := key{name, version}
+	return s.QueryT("", name, version)
+}
+
+// QueryT returns all descriptors registered under (tenant, name,
+// version).
+func (s *Service) QueryT(tenant, name string, version int) []Descriptor {
+	k := key{tenant, name, version}
 	sv := s.shard(k)
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
@@ -366,11 +563,16 @@ func (s *Service) QueryBox(name string, version int, box grid.Box) []Descriptor 
 	return out
 }
 
-// Remove deletes all descriptors under (name, version), typically after
-// the consuming in-transit task has pulled the data and released the
-// regions.
+// Remove deletes all descriptors under (name, version) in the
+// tenant-less namespace, typically after the consuming in-transit task
+// has pulled the data and released the regions.
 func (s *Service) Remove(name string, version int) {
-	k := key{name, version}
+	s.RemoveT("", name, version)
+}
+
+// RemoveT deletes all descriptors under (tenant, name, version).
+func (s *Service) RemoveT(tenant, name string, version int) {
+	k := key{tenant, name, version}
 	sv := s.shard(k)
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
@@ -402,12 +604,18 @@ func (s *Service) SubmitSpec(spec TaskSpec) (int64, error) {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
+	if s.guard != nil {
+		if err := s.guard(spec.Tenant, spec.Analysis, spec.Probe); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
 	dk := TaskKey{Analysis: spec.Analysis, Step: spec.Step}
 	if s.dedup != nil && s.dedup[dk] {
 		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: %s@%d", ErrDuplicateTask, spec.Analysis, spec.Step)
 	}
-	if len(s.waiting) == 0 && s.bound > 0 && len(s.queue) >= s.bound {
+	if len(s.waiting) == 0 && s.bound > 0 && s.boundDepthLocked(spec.Tenant) >= s.bound {
 		s.mu.Unlock()
 		return 0, ErrQueueFull
 	}
@@ -423,20 +631,37 @@ func (s *Service) SubmitSpec(spec TaskSpec) (int64, error) {
 		Deadline: spec.Deadline,
 		Shaped:   spec.Shaped,
 		Credited: spec.Credited,
+		Tenant:   spec.Tenant,
+		Probe:    spec.Probe,
 	}
 	if len(s.waiting) > 0 {
-		ch := s.waiting[0]
+		w := s.waiting[0]
 		s.waiting = s.waiting[1:]
 		s.assigned++
 		s.mu.Unlock()
 		s.observeSubmit(t)
-		ch <- t
+		w.ch <- t
 		return t.ID, nil
 	}
-	s.queue = append(s.queue, t)
+	if s.fair {
+		s.ensureTenantLocked(t.Tenant)
+		s.tq[t.Tenant] = append(s.tq[t.Tenant], t)
+	} else {
+		s.queue = append(s.queue, t)
+	}
 	s.mu.Unlock()
 	s.observeSubmit(t)
 	return t.ID, nil
+}
+
+// boundDepthLocked is the queue depth the bound applies to: the
+// submitting tenant's own queue in fair mode (per-tenant bulkhead),
+// the global queue otherwise.
+func (s *Service) boundDepthLocked(tenant string) int {
+	if s.fair {
+		return len(s.tq[tenant])
+	}
+	return len(s.queue)
 }
 
 // Requeue puts a failed task back at the head of the queue — it was
@@ -454,15 +679,21 @@ func (s *Service) Requeue(t Task) error {
 	t.Attempts++
 	s.requeues++
 	if len(s.waiting) > 0 {
-		ch := s.waiting[0]
+		w := s.waiting[0]
 		s.waiting = s.waiting[1:]
 		s.assigned++
 		s.mu.Unlock()
 		s.observeRequeue(t)
-		ch <- t
+		w.ch <- t
 		return nil
 	}
-	s.queue = append([]Task{t}, s.queue...)
+	if s.fair {
+		// Fair mode keeps a dedicated head lane so a requeue neither
+		// jumps another tenant's DRR turn nor waits behind it.
+		s.head = append(s.head, t)
+	} else {
+		s.queue = append([]Task{t}, s.queue...)
+	}
 	s.mu.Unlock()
 	s.observeRequeue(t)
 	return nil
@@ -479,32 +710,86 @@ func (s *Service) Requeues() int64 {
 // assigned or the service closes. Buckets are served strictly in the
 // order their requests arrived.
 func (s *Service) BucketReady() (Task, error) {
+	return s.BucketReadyCancel(nil)
+}
+
+// BucketReadyCancel is BucketReady with a cancellation channel: when
+// `cancel` fires before a task is assigned the wait unwinds with
+// ErrCancelled, the path a retiring bucket takes out of the pool. If
+// an assignment races the cancel, the task wins — it was already
+// committed to this bucket and must not be lost. A nil cancel channel
+// behaves exactly like BucketReady.
+func (s *Service) BucketReadyCancel(cancel <-chan struct{}) (Task, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return Task{}, ErrClosed
 	}
-	if len(s.queue) > 0 {
-		t := s.queue[0]
-		s.queue = s.queue[1:]
+	if t, ok := s.nextTaskLocked(); ok {
 		s.assigned++
 		s.mu.Unlock()
 		return t, nil
 	}
-	ch := make(chan Task, 1)
-	s.waiting = append(s.waiting, ch)
+	w := &waiter{ch: make(chan Task, 1)}
+	s.waiting = append(s.waiting, w)
 	s.mu.Unlock()
-	t, ok := <-ch
-	if !ok {
-		return Task{}, ErrClosed
+	if cancel == nil {
+		t, ok := <-w.ch
+		if !ok {
+			return Task{}, ErrClosed
+		}
+		return t, nil
 	}
-	return t, nil
+	select {
+	case t, ok := <-w.ch:
+		if !ok {
+			return Task{}, ErrClosed
+		}
+		return t, nil
+	case <-cancel:
+		s.mu.Lock()
+		for i, o := range s.waiting {
+			if o == w {
+				s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+				s.mu.Unlock()
+				return Task{}, ErrCancelled
+			}
+		}
+		s.mu.Unlock()
+		// Not on the list: an assignment or Close raced the cancel and
+		// already owns this waiter — honour whichever arrives.
+		t, ok := <-w.ch
+		if !ok {
+			return Task{}, ErrClosed
+		}
+		return t, nil
+	}
 }
 
 // QueueDepth returns the number of tasks waiting for a bucket.
 func (s *Service) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fair {
+		n := len(s.head)
+		for _, q := range s.tq {
+			n += len(q)
+		}
+		return n
+	}
+	return len(s.queue)
+}
+
+// QueueDepthT returns one tenant's queued (unassigned, non-requeue)
+// task count — the per-bulkhead pressure signal each tenant's
+// admission ladder consumes so one tenant's backlog does not degrade
+// the others. In FCFS mode it falls back to the global depth.
+func (s *Service) QueueDepthT(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fair {
+		return len(s.tq[tenant])
+	}
 	return len(s.queue)
 }
 
@@ -531,8 +816,8 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	for _, ch := range s.waiting {
-		close(ch)
+	for _, w := range s.waiting {
+		close(w.ch)
 	}
 	s.waiting = nil
 }

@@ -349,28 +349,33 @@ func (c *Collector) TableII() string {
 // export time, and the per-step simulation-side wall latency as a
 // fixed-bucket histogram fed by RecordStepWall. Call once, before the
 // run records samples.
-func (c *Collector) PublishTo(reg *obs.Registry) {
+func (c *Collector) PublishTo(reg *obs.Registry) { c.PublishToLabeled(reg) }
+
+// PublishToLabeled is PublishTo with a fixed label set stamped onto
+// every family, so multiple collectors (one per tenant) can publish
+// into one registry without their series aliasing each other.
+func (c *Collector) PublishToLabeled(reg *obs.Registry, labels ...obs.Attr) {
 	reg.CounterFunc("pipeline_sim_seconds_total",
 		"total simulation time, summed over per-step maxima across ranks",
-		func() float64 { total, _, _ := c.SimTime(); return total.Seconds() })
+		func() float64 { total, _, _ := c.SimTime(); return total.Seconds() }, labels...)
 	reg.CounterFunc("pipeline_degraded_steps_total",
 		"analysis steps that fell back fully in-situ or dead-lettered",
-		func() float64 { return float64(c.Resilience().DegradedSteps) })
+		func() float64 { return float64(c.Resilience().DegradedSteps) }, labels...)
 	reg.CounterFunc("pipeline_delta_steps_total",
 		"analysis steps admitted with delta-encoded payloads",
-		func() float64 { return float64(c.Overload().StepsDelta) })
+		func() float64 { return float64(c.Overload().StepsDelta) }, labels...)
 	reg.CounterFunc("pipeline_quantized_steps_total",
 		"analysis steps admitted with quantized payloads",
-		func() float64 { return float64(c.Overload().StepsQuantized) })
+		func() float64 { return float64(c.Overload().StepsQuantized) }, labels...)
 	reg.CounterFunc("pipeline_shaped_steps_total",
 		"analysis steps admitted at a reduced (shaped) payload level",
-		func() float64 { return float64(c.Overload().StepsShaped) })
+		func() float64 { return float64(c.Overload().StepsShaped) }, labels...)
 	reg.CounterFunc("pipeline_shed_steps_total",
 		"analysis steps dropped with an explicit shed marker",
-		func() float64 { return float64(c.Overload().StepsShed) })
+		func() float64 { return float64(c.Overload().StepsShed) }, labels...)
 	reg.CounterFunc("pipeline_fallback_steps_total",
 		"analysis steps the admission ladder forced in-situ",
-		func() float64 { return float64(c.Overload().StepsFallback) })
+		func() float64 { return float64(c.Overload().StepsFallback) }, labels...)
 	reg.CounterFunc("pipeline_transit_bytes_total",
 		"intermediate bytes moved to the staging tier, all analyses",
 		func() float64 {
@@ -379,7 +384,7 @@ func (c *Collector) PublishTo(reg *obs.Registry) {
 				n += c.Total(name).MoveBytes
 			}
 			return float64(n)
-		})
+		}, labels...)
 	reg.CounterFunc("pipeline_transit_seconds_total",
 		"in-transit compute wall time, all analyses",
 		func() float64 {
@@ -388,10 +393,10 @@ func (c *Collector) PublishTo(reg *obs.Registry) {
 				d += c.Total(name).InTransit
 			}
 			return d.Seconds()
-		})
+		}, labels...)
 	h := reg.Histogram("pipeline_step_wall_seconds",
 		"per-step simulation-side wall time (max over ranks per sample)",
-		obs.LatencyBuckets)
+		obs.LatencyBuckets, labels...)
 	c.mu.Lock()
 	c.stepWallHist = h
 	c.mu.Unlock()

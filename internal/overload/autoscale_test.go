@@ -1,0 +1,76 @@
+package overload
+
+import "testing"
+
+func TestAutoscalerGrowsUnderPressure(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 2, Max: 4, QueueHighPerBucket: 2, GrowAfter: 2, ShrinkAfter: 3})
+	pressured := AutoscaleSignals{QueueDepth: 10, FreeBuckets: 0, Active: 2, MaxLevel: LevelFull}
+
+	if d := a.Observe(pressured); d != 0 {
+		t.Fatalf("first pressured observe = %+d, want 0 (hysteresis)", d)
+	}
+	if d := a.Observe(pressured); d != +1 {
+		t.Fatalf("second pressured observe = %+d, want +1", d)
+	}
+	if a.Grows() != 1 {
+		t.Fatalf("grows = %d, want 1", a.Grows())
+	}
+
+	// At Max the autoscaler holds even under pressure.
+	atMax := pressured
+	atMax.Active = 4
+	for i := 0; i < 5; i++ {
+		if d := a.Observe(atMax); d != 0 {
+			t.Fatalf("observe at max = %+d, want 0", d)
+		}
+	}
+}
+
+func TestAutoscalerLadderSignalGrows(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 1, Max: 3, GrowAfter: 1})
+	// Queue shallow but a tenant is browned out past the ladder
+	// watermark: grow anyway.
+	sig := AutoscaleSignals{QueueDepth: 0, FreeBuckets: 0, Active: 1, MaxLevel: LevelShaped}
+	if d := a.Observe(sig); d != +1 {
+		t.Fatalf("ladder-pressured observe = %+d, want +1", d)
+	}
+}
+
+func TestAutoscalerShrinksWhenIdle(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 1, Max: 4, GrowAfter: 1, ShrinkAfter: 2})
+	idle := AutoscaleSignals{QueueDepth: 0, FreeBuckets: 3, Active: 3, MaxLevel: LevelFull}
+
+	if d := a.Observe(idle); d != 0 {
+		t.Fatalf("first idle observe = %+d, want 0", d)
+	}
+	if d := a.Observe(idle); d != -1 {
+		t.Fatalf("second idle observe = %+d, want -1", d)
+	}
+	if a.Shrinks() != 1 {
+		t.Fatalf("shrinks = %d, want 1", a.Shrinks())
+	}
+
+	// At Min the autoscaler holds even when idle.
+	atMin := idle
+	atMin.Active = 1
+	for i := 0; i < 5; i++ {
+		if d := a.Observe(atMin); d != 0 {
+			t.Fatalf("observe at min = %+d, want 0", d)
+		}
+	}
+}
+
+func TestAutoscalerMixedSignalsClearStreaks(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 1, Max: 4, QueueHighPerBucket: 2, GrowAfter: 2, ShrinkAfter: 2})
+	pressured := AutoscaleSignals{QueueDepth: 10, Active: 2}
+	band := AutoscaleSignals{QueueDepth: 1, FreeBuckets: 0, Active: 2, MaxLevel: LevelFull}
+
+	a.Observe(pressured) // hot = 1
+	a.Observe(band)      // clears the streak
+	if d := a.Observe(pressured); d != 0 {
+		t.Fatalf("pressured after band = %+d, want 0 (streak cleared)", d)
+	}
+	if d := a.Observe(pressured); d != +1 {
+		t.Fatalf("second consecutive pressured = %+d, want +1", d)
+	}
+}

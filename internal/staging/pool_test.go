@@ -1,0 +1,228 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"insitu/internal/dataspaces"
+)
+
+func waitActive(t *testing.T, a *Area, want int) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if a.ActiveBuckets() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("active buckets = %d, want %d", a.ActiveBuckets(), want)
+}
+
+func TestAddAndRetireBuckets(t *testing.T) {
+	r := newRig(t)
+	a, err := New(r.fabric, r.ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Handle("echo", func(task dataspaces.Task, data [][]byte) (any, error) {
+		return task.Step, nil
+	})
+	a.Start()
+	if got := a.ActiveBuckets(); got != 2 {
+		t.Fatalf("initial active = %d, want 2", got)
+	}
+
+	id := a.AddBucket()
+	if id != 2 {
+		t.Fatalf("added bucket id = %d, want 2", id)
+	}
+	waitActive(t, a, 3)
+
+	// The added bucket serves traffic: with three buckets parked, three
+	// concurrent tasks all complete.
+	for s := 1; s <= 6; s++ {
+		r.publish(t, "echo", s)
+	}
+	seen := 0
+	for seen < 6 {
+		select {
+		case res := <-a.Results():
+			if res.Err != nil {
+				t.Fatalf("task err: %v", res.Err)
+			}
+			seen++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("drained %d of 6 results", seen)
+		}
+	}
+
+	// Retire two: pool shrinks to 1 with no task loss; bucket 0 is
+	// never retired.
+	if !a.RetireBucket() || !a.RetireBucket() {
+		t.Fatal("retire failed with eligible buckets")
+	}
+	waitActive(t, a, 1)
+	if a.RetireBucket() {
+		t.Fatal("retired bucket 0 (probe host)")
+	}
+
+	// The surviving bucket still serves.
+	r.publish(t, "echo", 7)
+	select {
+	case res := <-a.Results():
+		if res.Err != nil {
+			t.Fatalf("post-shrink task err: %v", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-shrink task never completed")
+	}
+
+	r.ds.Close()
+	a.Wait()
+}
+
+func TestRetireMidTaskFinishesAndSettles(t *testing.T) {
+	r := newRig(t)
+	if err := r.ds.EnableCredits(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(r.fabric, r.ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	a.Handle("slow", func(task dataspaces.Task, data [][]byte) (any, error) {
+		<-gate
+		return "done", nil
+	})
+	a.Start()
+
+	c := r.ds.Credits()
+	// Occupy BOTH buckets with blocked tasks so the retired one is
+	// guaranteed to be mid-task.
+	for s := 1; s <= 2; s++ {
+		if !c.Acquire("slow") {
+			t.Fatal("acquire")
+		}
+		h := r.prod.RegisterMem([]byte("payload"))
+		if _, err := r.ds.SubmitSpec(dataspaces.TaskSpec{
+			Analysis: "slow", Step: s, Credited: true,
+			Inputs: []dataspaces.Descriptor{{Name: "slow", Version: s, Rank: 0, Handle: h}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500 && r.ds.Assigned() < 2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if r.ds.Assigned() < 2 {
+		t.Fatal("buckets never picked up the tasks")
+	}
+	a.RetireBucket()
+	close(gate)
+
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-a.Results():
+			if res.Err != nil {
+				t.Fatalf("task err: %v", res.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("task held by retiring bucket was lost")
+		}
+	}
+	// Credit settled exactly once.
+	out, avail, total := c.Snapshot()
+	if out != 0 || avail != total {
+		t.Fatalf("credits after drain: outstanding %d available %d total %d", out, avail, total)
+	}
+	waitActive(t, a, 1)
+	r.ds.Close()
+	a.Wait()
+}
+
+func TestTenantScopedHandlers(t *testing.T) {
+	r := newRig(t)
+	a, err := New(r.fabric, r.ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range []string{"alpha", "beta"} {
+		tn := tn
+		a.HandleT(tn, "viz", func(task dataspaces.Task, data [][]byte) (any, error) {
+			return tn, nil
+		})
+	}
+	a.Start()
+	for _, tn := range []string{"alpha", "beta"} {
+		if _, err := r.ds.SubmitSpec(dataspaces.TaskSpec{Tenant: tn, Analysis: "viz", Step: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-a.Results():
+			if res.Err != nil {
+				t.Fatalf("task err: %v", res.Err)
+			}
+			if res.Output != res.Task.Tenant {
+				t.Fatalf("tenant %q dispatched to handler %v", res.Task.Tenant, res.Output)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("tenant task never completed")
+		}
+	}
+	r.ds.Close()
+	a.Wait()
+}
+
+func TestDeadLetterErrorCarriesTenantAndHistory(t *testing.T) {
+	r := newRig(t)
+	a, err := New(r.fabric, r.ds, 1, WithMaxAttempts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	// A task whose inputs reference an unregistered handle fails its
+	// pulls on every attempt and dead-letters.
+	bad := r.prod.RegisterMem([]byte("x"))
+	if err := r.prod.Release(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ds.SubmitSpec(dataspaces.TaskSpec{
+		Tenant: "noisy", Analysis: "poison", Step: 3,
+		Inputs: []dataspaces.Descriptor{{Name: "poison", Version: 3, Rank: 0, Handle: bad}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-a.Results():
+		if !res.DeadLetter {
+			t.Fatalf("result not dead-lettered: %+v", res)
+		}
+		var dl *DeadLetterError
+		if !errors.As(res.Err, &dl) {
+			t.Fatalf("err %T does not unwrap to DeadLetterError", res.Err)
+		}
+		if !errors.Is(res.Err, ErrDeadLetter) {
+			t.Fatal("err does not unwrap to ErrDeadLetter")
+		}
+		if dl.Tenant != "noisy" || dl.Analysis != "poison" || dl.Step != 3 {
+			t.Fatalf("dead-letter identity = %+v", dl)
+		}
+		if len(dl.History) != 2 {
+			t.Fatalf("attempt history = %v, want 2 entries", dl.History)
+		}
+		for i, line := range dl.History {
+			if want := fmt.Sprintf("attempt %d", i+1); len(line) == 0 || line[:9] != want {
+				t.Fatalf("history[%d] = %q, want prefix %q", i, line, want)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dead-letter never surfaced")
+	}
+	r.ds.Close()
+	a.Wait()
+}

@@ -31,6 +31,33 @@ import (
 // silently losing it.
 var ErrDeadLetter = errors.New("staging: task dead-lettered")
 
+// DeadLetterError is the typed dead-letter report: it names the
+// originating tenant and carries the task's full attempt history so a
+// multi-tenant operator can see whose task died and how, instead of
+// one anonymous global counter line. It unwraps to both ErrDeadLetter
+// and the last underlying cause.
+type DeadLetterError struct {
+	Tenant   string
+	Analysis string
+	Step     int
+	TaskID   int64
+	Attempts int
+	// History is one line per failed attempt, oldest first.
+	History []string
+	// Last is the failure that exhausted the attempt budget.
+	Last error
+}
+
+// Error keeps the legacy single-tenant message shape.
+func (e *DeadLetterError) Error() string {
+	return fmt.Sprintf("staging: task %d (%s step %d) failed %d attempts: %v (last: %v)",
+		e.TaskID, e.Analysis, e.Step, e.Attempts, ErrDeadLetter, e.Last)
+}
+
+// Unwrap exposes both the dead-letter marker and the last cause to
+// errors.Is/As.
+func (e *DeadLetterError) Unwrap() []error { return []error{ErrDeadLetter, e.Last} }
+
 // Handler executes the in-transit stage of one analysis. It receives
 // the task and the pulled input payloads, ordered as in Task.Inputs,
 // and returns an arbitrary result object.
@@ -123,33 +150,45 @@ func WithPooledBuffers() Option {
 	return func(a *Area) { a.pooled = true }
 }
 
+// routeKey scopes a handler registration to one (tenant, analysis)
+// route; single-tenant registrations use an empty tenant.
+type routeKey struct {
+	tenant   string
+	analysis string
+}
+
 // Area is a running staging area.
 type Area struct {
-	svc    *dart.Fabric
-	ds     *dataspaces.Service
-	nbkt   int
-	points []*dart.Endpoint
+	svc  *dart.Fabric
+	ds   *dataspaces.Service
+	nbkt int
 
 	mu       sync.Mutex
-	handlers map[string]Handler
-	streams  map[string]StreamHandler
+	points   []*dart.Endpoint // grows under AddBucket
+	started  bool
+	handlers map[routeKey]Handler
+	streams  map[routeKey]StreamHandler
 	release  func(dataspaces.Descriptor)
+	busy     []int64 // per-bucket completed-task counts
 
 	resultCap int
 	pooled    bool
 	results   chan Result
 	wg        sync.WaitGroup
 
-	busy []int64 // per-bucket completed-task counts
-
 	maxAttempts int
 
 	// kill holds one channel per bucket, replaced on every respawn:
 	// closing the current generation's channel crashes that bucket at
-	// its next checkpoint.
-	killMu sync.Mutex
-	kill   []chan struct{}
+	// its next checkpoint. retire holds one per bucket too, but is
+	// never replaced: closing it drains the bucket out of the pool
+	// gracefully at its next checkpoint-free boundary.
+	killMu  sync.Mutex
+	kill    []chan struct{}
+	retire  []chan struct{}
+	retired []bool
 
+	active      atomic.Int64 // buckets currently in (or returning to) the pool
 	crashes     atomic.Int64
 	deadLetters atomic.Int64
 
@@ -270,12 +309,14 @@ func New(fabric *dart.Fabric, ds *dataspaces.Service, nbuckets int, opts ...Opti
 		svc:         fabric,
 		ds:          ds,
 		nbkt:        nbuckets,
-		handlers:    make(map[string]Handler),
-		streams:     make(map[string]StreamHandler),
+		handlers:    make(map[routeKey]Handler),
+		streams:     make(map[routeKey]StreamHandler),
 		resultCap:   1024,
 		busy:        make([]int64, nbuckets),
 		maxAttempts: 3,
 		kill:        make([]chan struct{}, nbuckets),
+		retire:      make([]chan struct{}, nbuckets),
+		retired:     make([]bool, nbuckets),
 	}
 	for _, o := range opts {
 		o(a)
@@ -284,7 +325,9 @@ func New(fabric *dart.Fabric, ds *dataspaces.Service, nbuckets int, opts ...Opti
 	for i := 0; i < nbuckets; i++ {
 		a.points = append(a.points, fabric.Register(fmt.Sprintf("bucket-%d", i)))
 		a.kill[i] = make(chan struct{})
+		a.retire[i] = make(chan struct{})
 	}
+	a.active.Store(int64(nbuckets))
 	// A tiny always-registered region on bucket 0: pipelines probe the
 	// transit path's health with a cheap Get against it before deciding
 	// whether to submit hybrid work or degrade to in-situ.
@@ -296,25 +339,40 @@ func New(fabric *dart.Fabric, ds *dataspaces.Service, nbuckets int, opts ...Opti
 // bucket 0's endpoint, used by pipelines as a transit-health probe.
 func (a *Area) ProbeHandle() dart.MemHandle { return a.probe }
 
-// Handle registers the in-transit stage for the named analysis.
-// Handlers must be registered before Start.
-func (a *Area) Handle(analysis string, h Handler) {
+// Handle registers the in-transit stage for the named analysis in the
+// tenant-less namespace. Handlers must be registered before Start.
+func (a *Area) Handle(analysis string, h Handler) { a.HandleT("", analysis, h) }
+
+// HandleT registers the in-transit stage for one (tenant, analysis)
+// route, so two tenants running the same analysis name dispatch to
+// their own handlers.
+func (a *Area) HandleT(tenant, analysis string, h Handler) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.handlers[analysis] = h
+	a.handlers[routeKey{tenant, analysis}] = h
 }
 
 // HandleStream registers a streaming in-transit stage for the named
-// analysis. A streaming handler takes precedence over a buffered one
-// registered under the same name.
-func (a *Area) HandleStream(analysis string, h StreamHandler) {
+// analysis in the tenant-less namespace. A streaming handler takes
+// precedence over a buffered one registered under the same route.
+func (a *Area) HandleStream(analysis string, h StreamHandler) { a.HandleStreamT("", analysis, h) }
+
+// HandleStreamT registers a streaming in-transit stage for one
+// (tenant, analysis) route.
+func (a *Area) HandleStreamT(tenant, analysis string, h StreamHandler) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.streams[analysis] = h
+	a.streams[routeKey{tenant, analysis}] = h
 }
 
-// Buckets returns the number of bucket cores.
+// Buckets returns the number of bucket cores the area started with;
+// ActiveBuckets tracks the live pool under autoscaling.
 func (a *Area) Buckets() int { return a.nbkt }
+
+// ActiveBuckets returns the current bucket-pool size: started buckets
+// plus added ones, minus retired ones. A crashed bucket still counts —
+// its respawn is part of the pool.
+func (a *Area) ActiveBuckets() int { return int(a.active.Load()) }
 
 // Results returns the stream of completed in-transit tasks.
 func (a *Area) Results() <-chan Result { return a.results }
@@ -323,10 +381,56 @@ func (a *Area) Results() <-chan Result { return a.results }
 // assigned task → pull inputs asynchronously → run handler → emit
 // result, until the DataSpaces service closes.
 func (a *Area) Start() {
-	for i := 0; i < a.nbkt; i++ {
+	a.mu.Lock()
+	n := len(a.points)
+	a.started = true
+	a.mu.Unlock()
+	for i := 0; i < n; i++ {
 		a.wg.Add(1)
 		go a.bucketLoop(i)
 	}
+}
+
+// AddBucket grows the pool by one bucket, registering its endpoint and
+// (if the area has started) launching its loop immediately. It returns
+// the new bucket's id.
+func (a *Area) AddBucket() int {
+	a.mu.Lock()
+	id := len(a.points)
+	a.points = append(a.points, a.svc.Register(fmt.Sprintf("bucket-%d", id)))
+	a.busy = append(a.busy, 0)
+	started := a.started
+	a.mu.Unlock()
+	a.killMu.Lock()
+	a.kill = append(a.kill, make(chan struct{}))
+	a.retire = append(a.retire, make(chan struct{}))
+	a.retired = append(a.retired, false)
+	a.killMu.Unlock()
+	a.active.Add(1)
+	if started {
+		a.wg.Add(1)
+		go a.bucketLoop(id)
+	}
+	return id
+}
+
+// RetireBucket shrinks the pool by one bucket, choosing the
+// highest-numbered live bucket and draining it gracefully: a retiring
+// bucket finishes (and settles) the task it holds, then exits instead
+// of asking for more work — no task is lost and no credit settles
+// twice. Bucket 0 is never retired (it hosts the transit-health probe
+// region). It returns false when no bucket is eligible.
+func (a *Area) RetireBucket() bool {
+	a.killMu.Lock()
+	defer a.killMu.Unlock()
+	for id := len(a.retire) - 1; id > 0; id-- {
+		if !a.retired[id] {
+			a.retired[id] = true
+			close(a.retire[id])
+			return true
+		}
+	}
+	return false
 }
 
 // Wait blocks until all bucket loops have exited (after the DataSpaces
@@ -354,11 +458,11 @@ func (a *Area) CompletedPerBucket() []int64 {
 // recovery. It returns false for an out-of-range id. Crashing an
 // already-crashed bucket before its respawn is a no-op.
 func (a *Area) CrashBucket(id int) bool {
-	if id < 0 || id >= a.nbkt {
-		return false
-	}
 	a.killMu.Lock()
 	defer a.killMu.Unlock()
+	if id < 0 || id >= len(a.kill) {
+		return false
+	}
 	select {
 	case <-a.kill[id]:
 		// Already killed; the respawn will install a fresh channel.
@@ -375,10 +479,23 @@ func (a *Area) killCh(id int) chan struct{} {
 	return a.kill[id]
 }
 
+// retireCh returns the bucket's retire channel (never replaced).
+func (a *Area) retireCh(id int) chan struct{} {
+	a.killMu.Lock()
+	defer a.killMu.Unlock()
+	return a.retire[id]
+}
+
 // respawn installs a fresh kill channel and launches a replacement
-// bucket goroutine after a crash.
+// bucket goroutine after a crash — unless the bucket was retired while
+// (or before) crashing, in which case it simply leaves the pool.
 func (a *Area) respawn(id int) {
 	a.killMu.Lock()
+	if a.retired[id] {
+		a.killMu.Unlock()
+		a.active.Add(-1)
+		return
+	}
 	a.kill[id] = make(chan struct{})
 	a.killMu.Unlock()
 	a.wg.Add(1)
@@ -413,11 +530,23 @@ func (a *Area) Resilience() ResilienceStats {
 
 func (a *Area) bucketLoop(id int) {
 	defer a.wg.Done()
+	a.mu.Lock()
 	ep := a.points[id]
+	a.mu.Unlock()
 	kill := a.killCh(id)
+	retire := a.retireCh(id)
 	for {
-		task, err := a.ds.BucketReady()
+		select {
+		case <-retire:
+			a.active.Add(-1)
+			return
+		default:
+		}
+		task, err := a.ds.BucketReadyCancel(retire)
 		if err != nil {
+			if errors.Is(err, dataspaces.ErrCancelled) {
+				a.active.Add(-1)
+			}
 			return
 		}
 		res, crashed := a.runTask(id, ep, kill, task)
@@ -448,6 +577,7 @@ func (a *Area) bucketLoop(id int) {
 // are released so producer regions do not leak, and an errored Result
 // wrapping ErrDeadLetter is returned.
 func (a *Area) failTask(id int, task dataspaces.Task, start time.Time, cause error) *Result {
+	task.History = append(task.History, fmt.Sprintf("attempt %d on bucket %d: %v", task.Attempts+1, id, cause))
 	if task.Attempts+1 < a.maxAttempts {
 		if a.ds.Requeue(task) == nil {
 			return nil
@@ -455,6 +585,7 @@ func (a *Area) failTask(id int, task dataspaces.Task, start time.Time, cause err
 		// Service closed mid-failure: fall through to dead-letter.
 	}
 	a.deadLetters.Add(1)
+	a.observeDeadLetter(task.Tenant)
 	if a.release != nil {
 		for _, in := range task.Inputs {
 			a.release(in)
@@ -467,9 +598,32 @@ func (a *Area) failTask(id int, task dataspaces.Task, start time.Time, cause err
 		End:        time.Now(),
 		Attempts:   task.Attempts + 1,
 		DeadLetter: true,
-		Err: fmt.Errorf("staging: task %d (%s step %d) failed %d attempts: %w (last: %v)",
-			task.ID, task.Analysis, task.Step, task.Attempts+1, ErrDeadLetter, cause),
+		Err: &DeadLetterError{
+			Tenant:   task.Tenant,
+			Analysis: task.Analysis,
+			Step:     task.Step,
+			TaskID:   task.ID,
+			Attempts: task.Attempts + 1,
+			History:  append([]string(nil), task.History...),
+			Last:     cause,
+		},
 	}
+}
+
+// observeDeadLetter bumps the per-tenant dead-letter counter. The
+// registry is idempotent by name+labels, so resolving at dead-letter
+// time (a rare event) is cheap and avoids pre-declaring tenants.
+func (a *Area) observeDeadLetter(tenant string) {
+	pl := a.plane.Load()
+	if pl == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	pl.Registry().Counter("staging_dead_letter_total",
+		"tasks that exhausted their attempt budget, by originating tenant",
+		obs.Str("tenant", tenant)).Inc()
 }
 
 // runTask executes one assigned task. It returns the Result to emit
@@ -485,7 +639,7 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, kill <-chan struct{}, task dat
 		return a.failTask(id, task, start, fmt.Errorf("bucket %d crashed at assignment", id)), true
 	}
 	a.mu.Lock()
-	sh, streaming := a.streams[task.Analysis]
+	sh, streaming := a.streams[routeKey{task.Tenant, task.Analysis}]
 	a.mu.Unlock()
 	if streaming {
 		res := a.runStreamTask(id, ep, task, sh)
@@ -551,7 +705,7 @@ func (a *Area) runTask(id int, ep *dart.Endpoint, kill <-chan struct{}, task dat
 	}
 
 	a.mu.Lock()
-	h, ok := a.handlers[task.Analysis]
+	h, ok := a.handlers[routeKey{task.Tenant, task.Analysis}]
 	a.mu.Unlock()
 	if !ok {
 		recycle()

@@ -145,6 +145,10 @@ func TestCrashMatrix(t *testing.T) {
 	for _, cell := range cells {
 		cell := cell
 		t.Run(fmt.Sprintf("%s@%d", cell.phase, cell.step), func(t *testing.T) {
+			// Cells are independent: each owns its journal directory and
+			// only reads the shared golden. Running them in parallel keeps
+			// the 13-cell matrix inside a tolerable wall-clock budget.
+			t.Parallel()
 			dir := t.TempDir()
 			p1, _, err := NewCrashMatrixPipeline(dir, recovery.KillAt(cell.phase, cell.step))
 			if err != nil {
@@ -172,6 +176,7 @@ func TestCrashMatrix(t *testing.T) {
 	}
 
 	t.Run("corrupt-checkpoint-fallback", func(t *testing.T) {
+		t.Parallel()
 		dir := t.TempDir()
 		p1, _, err := NewCrashMatrixPipeline(dir, recovery.KillAt(recovery.PhasePostCommit, 6))
 		if err != nil {

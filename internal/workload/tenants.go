@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/faults"
+	"insitu/internal/grid"
+	"insitu/internal/netsim"
+	"insitu/internal/overload"
+	"insitu/internal/sim"
+)
+
+// The tenants scenario is the multi-tenant staging-fabric soak: three
+// tenant simulations time-multiplex one scheduler (one DataSpaces
+// queue, one bucket pool, one interconnect). Two tenants — alpha and
+// beta, the victims — run the healthy hybrid routes. The third, gamma,
+// is the noisy neighbor twice over: a seeded slowdown window collapses
+// the bandwidth of every transfer touching gamma's rank endpoints (so
+// gamma's pulls hold shared buckets for ~400x longer), and gamma's
+// extra "poison" analysis crashes its in-transit handler until the
+// quarantine's strike budget is spent. The fabric must hold the
+// bulkheads: victims keep stepping at solo pace, the poison route is
+// quarantined and later released by a half-open probe, the autoscaler
+// widens the bucket pool under pressure, and nothing leaks.
+//
+// All constants are exported so the soak test and the s3dpipe -tenants
+// scenario run the identical configuration.
+const (
+	// TenantSteps is the length of the soak in simulation steps.
+	TenantSteps = 40
+	// TenantSeed fixes the injector PRNG.
+	TenantSeed = 7
+	// TenantSlowFrom/TenantSlowUntil bound gamma's slowdown window in
+	// decision-index space. A full noisy run consumes roughly 500
+	// injector decisions (three tenants' pulls share one counter), so
+	// this window opens after the fabric has warmed up and closes with
+	// a comfortable tail for recovery: ladders climb back to full, the
+	// autoscaler observes idleness, and the quarantine probe heals.
+	TenantSlowFrom  = 100
+	TenantSlowUntil = 300
+	// TenantSlowFactor multiplies the modeled duration of every covered
+	// transfer — the same ~400x collapse the brownout soak uses, but
+	// scoped to gamma's endpoints only.
+	TenantSlowFactor = 400
+	// TenantTimeScale converts modeled durations into real sleeps so
+	// the collapse manifests as wall-clock staging latency.
+	TenantTimeScale = 0.1
+	// TenantPoisonFails is how many in-transit attempts gamma's poison
+	// handler fails before healing. Equal to the quarantine's strike
+	// budget, so the route opens on exactly the strike budget and the
+	// first half-open probe heals it.
+	TenantPoisonFails = 2
+)
+
+// TenantVictims are the victim tenants; TenantNoisy is the neighbor.
+var (
+	TenantVictims = []string{"alpha", "beta"}
+	TenantNoisy   = "gamma"
+)
+
+// poisonAnalysis is gamma's poison route: the in-transit handler fails
+// its first FailAttempts executions and succeeds afterwards, so the
+// open -> probe -> release cycle is deterministic regardless of how
+// long each result takes to drain.
+type poisonAnalysis struct {
+	FailAttempts int64
+	attempts     atomic.Int64
+}
+
+// PoisonRouteName is the analysis name the quarantine soak watches.
+const PoisonRouteName = "poison"
+
+func (p *poisonAnalysis) Name() string { return PoisonRouteName }
+func (p *poisonAnalysis) Every() int   { return 1 }
+
+func (p *poisonAnalysis) InSituStage(ctx *core.Ctx) ([]byte, error) {
+	return []byte{byte(ctx.Step), byte(ctx.Comm.ID())}, nil
+}
+
+func (p *poisonAnalysis) InTransit(step int, payloads [][]byte) (any, error) {
+	if p.attempts.Add(1) <= p.FailAttempts {
+		return nil, errors.New("poison: handler crash")
+	}
+	return step, nil
+}
+
+// tenantOverload is the per-tenant admission plane for the soak — the
+// brownout tuning, reused: latency-sensitive breakers, a fast ladder,
+// and a modeled-duration probe verdict that separates healthy from
+// browned-out deterministically.
+func tenantOverload() *overload.Config {
+	return &overload.Config{
+		Breaker: overload.BreakerConfig{
+			FailureThreshold: 3,
+			LatencyThreshold: 5 * time.Millisecond,
+			LatencyAlpha:     0.5,
+			Cooldown:         2 * time.Millisecond,
+		},
+		Ladder: overload.LadderConfig{
+			QueueHigh: 3, QueueLow: 1,
+			DegradeAfter: 1, RecoverAfter: 2,
+		},
+		QueueBound:      4,
+		ProbeLatencyMax: 50 * time.Microsecond,
+	}
+}
+
+// NewTenantScheduler builds the multi-tenant soak: victims alpha and
+// beta run the two healthy hybrid routes (visualization + statistics)
+// and the gamma tenant runs visualization plus the poison route, all
+// over a shared 2..4-bucket autoscaled staging tier with per-tenant
+// credit floors and DRR dequeue. With noisy=true gamma misbehaves:
+// its poison handler crashes through the quarantine strike budget and
+// the seeded slowdown window is installed over its rank endpoints.
+// With noisy=false it returns the identical healthy twin — same three
+// tenants, same routes, no fault schedule, a poison handler that
+// never crashes — whose per-step wall times are the soak's baseline:
+// the twin isolates the injected noise from the mere CPU cost of
+// co-tenancy, which the bulkheads do not (and cannot) remove.
+//
+// The second return value lists the victims' hybrid route names.
+func NewTenantScheduler(noisy bool) (*core.Scheduler, []string, error) {
+	net := netsim.Gemini()
+	net.TimeScale = TenantTimeScale
+
+	s, err := core.NewScheduler(core.SchedulerConfig{
+		DSServers:     2,
+		Buckets:       2,
+		MaxBuckets:    4,
+		Net:           net,
+		QueueBound:    4,
+		TenantReserve: 2,
+		Autoscale: &overload.AutoscaleConfig{
+			Min: 2, Max: 4,
+			QueueHighPerBucket: 2,
+			GrowAfter:          2,
+			ShrinkAfter:        3,
+		},
+		Quarantine: overload.QuarantineConfig{Strikes: TenantPoisonFails, ProbeAfter: 2},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	simCfg := sim.DefaultConfig(grid.NewBox(24, 16, 8), 2, 1, 1)
+	simCfg.SubSteps = 4
+
+	var routes []string
+	for _, name := range TenantVictims {
+		p, err := s.AddTenant(name, core.TenantConfig{
+			Sim:        simCfg,
+			Overload:   tenantOverload(),
+			StepBudget: 500 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		viz := core.NewVizHybrid(20, 16, 2)
+		stats := &core.StatsHybrid{Vars: []string{"T", "P"}}
+		p.Register(viz)
+		p.Register(stats)
+		if routes == nil {
+			routes = []string{viz.Name(), stats.Name()}
+		}
+	}
+
+	p, err := s.AddTenant(TenantNoisy, core.TenantConfig{
+		Sim:        simCfg,
+		Overload:   tenantOverload(),
+		StepBudget: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Register(core.NewVizHybrid(20, 16, 2))
+	fails := int64(0)
+	if noisy {
+		fails = TenantPoisonFails
+	}
+	p.Register(&poisonAnalysis{FailAttempts: fails})
+	if !noisy {
+		return s, routes, nil
+	}
+
+	// The slowdown is scoped to gamma's rank endpoints: every staging
+	// pull of a gamma payload crawls, while victim transfers stay
+	// healthy — the noise is all gamma's, and so is the attribution.
+	var noisyEps []int
+	for _, ep := range s.TenantEndpoints(TenantNoisy) {
+		noisyEps = append(noisyEps, ep.ID())
+	}
+	s.Network().SetFaults(faults.New(faults.Config{
+		Seed: TenantSeed,
+		Slowdowns: []faults.SlowdownWindow{
+			{From: TenantSlowFrom, Until: TenantSlowUntil, Endpoints: noisyEps, Factor: TenantSlowFactor},
+		},
+	}))
+	return s, routes, nil
+}
