@@ -31,10 +31,17 @@
 #                   with the live endpoint, and validates /metrics,
 #                   /trace.json, /events.jsonl (submit/done reconciliation),
 #                   and /debug/pprof via cmd/obscheck
+#   make serve      end-to-end image-serving gate (cmd/servecheck): a
+#                   short store-backed pipeline with live pollers, zero
+#                   pooled-framebuffer leaks, digests stable across an
+#                   independent re-run, every spec cell fetchable with
+#                   correct conditional/immutable GET semantics, and a
+#                   250-viewer fleet with zero errors under a p99 bound
+#   make bench-json9 regenerate BENCH_PR9.json from the serve benches
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par bench-json bench-gate fuzz-smoke chaos brownout crashmatrix tenants fmt obs-check
+.PHONY: tier1 vet build test race bench bench-par bench-json bench-json9 bench-gate fuzz-smoke chaos brownout crashmatrix tenants fmt obs-check serve
 
 tier1: fmt vet build test race
 
@@ -49,6 +56,9 @@ obs-check:
 	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/s3dpipe" ./cmd/s3dpipe && \
 	$(GO) run ./cmd/obscheck -bin "$$tmp/s3dpipe"
+
+serve:
+	$(GO) run ./cmd/servecheck
 
 build:
 	$(GO) build ./...
@@ -67,6 +77,10 @@ bench-par:
 
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_PR6.json
+
+bench-json9:
+	$(GO) run ./cmd/benchjson -bench Serve -benchtime 10x -o BENCH_PR9.json \
+		-pr "Cinema-style image store + HTTP serving tier with load-generated latency benchmarks"
 
 bench-gate:
 	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \

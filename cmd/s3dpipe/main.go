@@ -23,10 +23,12 @@ import (
 
 	"insitu/internal/core"
 	"insitu/internal/grid"
+	"insitu/internal/imagestore"
 	"insitu/internal/netsim"
 	"insitu/internal/obs"
 	"insitu/internal/recovery"
 	"insitu/internal/render"
+	"insitu/internal/serve"
 	"insitu/internal/sim"
 	"insitu/internal/trace"
 	"insitu/internal/workload"
@@ -63,6 +65,9 @@ func main() {
 		journal    = flag.String("journal", "", "directory for the durable step journal and checkpoints (enables recovery)")
 		resume     = flag.Bool("resume", false, "with -journal: continue an interrupted run from its last committed step")
 		ckptEvery  = flag.Int("ckpt-every", 5, "with -journal: checkpoint cadence in steps")
+		storeDir   = flag.String("store", "", "directory for the Cinema-style image database; rendered frames are filed there as the run goes")
+		serveAddr  = flag.String("serve", "", "with -store: serve the image database over HTTP on this address, e.g. :8080 (viewer page, /db, /img, /latest.json)")
+		cameras    = flag.Int("cameras", 0, "render each viz step from an orbit of N camera directions (the image database's camera axis; 0/1 = the single default view)")
 	)
 	flag.Parse()
 
@@ -83,6 +88,19 @@ func main() {
 		cfg.Recovery = &core.RecoveryConfig{Dir: *journal, Every: *ckptEvery}
 	} else if *resume {
 		fail(fmt.Errorf("-resume requires -journal DIR"))
+	}
+	if *serveAddr != "" && *storeDir == "" {
+		fail(fmt.Errorf("-serve requires -store DIR"))
+	}
+	var st *imagestore.Store
+	if *storeDir != "" {
+		s, err := imagestore.Open(*storeDir)
+		if err != nil {
+			fail(err)
+		}
+		st = s
+		defer st.Close()
+		cfg.Store = st
 	}
 	p, err := core.NewPipeline(cfg)
 	if err != nil {
@@ -151,12 +169,42 @@ func main() {
 	if *tracking {
 		p.Register(&core.TrackingHybrid{Threshold: 0.05, EveryN: *every})
 	}
+	if *cameras > 1 {
+		if vizIS != nil {
+			vizIS.Cameras = *cameras
+		}
+		if vizHy != nil {
+			vizHy.Cameras = *cameras
+		}
+	}
 
 	var tl *trace.Timeline
 	if *timeline {
 		tl = p.EnableTrace()
 	}
 	pl, stop := setupObs(p, *obsAddr, *obsDump)
+	if st != nil && pl != nil {
+		st.PublishTo(pl.Registry())
+	}
+
+	// The serving tier starts before the run so live viewers can poll
+	// latest.json while frames are still landing.
+	var stopServe func()
+	if *serveAddr != "" {
+		sv := serve.New(st)
+		if pl != nil {
+			sv.PublishTo(pl.Registry())
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fail(err)
+		}
+		srv := &http.Server{Handler: sv}
+		go srv.Serve(ln)
+		fmt.Printf("image serving tier on http://%s/ (viewer page, /db/info.json, /latest.json)\n\n", ln.Addr())
+		stopServe = func() { srv.Close() }
+		defer stopServe()
+	}
 
 	fmt.Printf("s3dpipe: grid %dx%dx%d, %d simulation ranks, %d DataSpaces shards, %d buckets, %d steps\n\n",
 		*nx, *ny, *nz, (*px)*(*py)*(*pz), *servers, *buckets, *steps)
@@ -169,7 +217,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	defer finishObs(pl, stop, *obsDump, *hold && *obsAddr != "")
+	// Hold covers the serving tier too: with -serve -hold the database
+	// stays browsable after the run until SIGINT/SIGTERM.
+	defer finishObs(pl, stop, *obsDump, *hold && (*obsAddr != "" || *serveAddr != ""))
 
 	if rec := rep.Recovery; rec != nil {
 		fmt.Printf("recovery: %d commits, %d checkpoints, %d journal fsyncs\n",
@@ -193,6 +243,12 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println()
+	}
+
+	if st != nil {
+		info := st.Info()
+		fmt.Printf("image store: %d frames in %d blobs (%.2f MB) under %s; vars %v, cams %v, latest step %d\n\n",
+			info.Frames, info.Blobs, float64(info.Bytes)/1e6, *storeDir, info.Vars, info.Cams, info.LatestStep)
 	}
 
 	total, perStep, n := rep.Metrics.SimTime()

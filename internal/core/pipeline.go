@@ -61,6 +61,12 @@ type Config struct {
 	// committed step. Nil keeps the journal-free behavior byte for
 	// byte.
 	Recovery *RecoveryConfig
+	// Store, when non-nil, files every rendered frame a FrameAnalysis
+	// produces into the Cinema-style image database as the run goes:
+	// Report.Results holds FrameRefs instead of raw framebuffers, and
+	// the pooled image buffers are recycled once their pixels are
+	// encoded. Nil keeps the in-memory result path byte for byte.
+	Store FrameSink
 }
 
 // DefaultConfig mirrors the paper's resource ratios at laptop scale.
@@ -83,6 +89,10 @@ type Pipeline struct {
 	codecs *codec.Registry
 
 	analyses []Analysis
+
+	// frameVars maps a FrameAnalysis name to its store variable.
+	// Written only by Register (before Run), read by persistFrames.
+	frameVars map[string]string
 
 	// Overload-control plane (nil/empty when Config.Overload is nil).
 	ov     *overload.Config
@@ -169,15 +179,16 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{
-		cfg:     cfg,
-		sim:     s,
-		net:     net,
-		fabric:  fabric,
-		ds:      ds,
-		col:     metrics.NewCollector(),
-		codecs:  codec.NewRegistry(),
-		results: make(map[string]map[int]any),
-		eps:     make(map[int]*dart.Endpoint),
+		cfg:       cfg,
+		sim:       s,
+		net:       net,
+		fabric:    fabric,
+		ds:        ds,
+		col:       metrics.NewCollector(),
+		codecs:    codec.NewRegistry(),
+		results:   make(map[string]map[int]any),
+		eps:       make(map[int]*dart.Endpoint),
+		frameVars: make(map[string]string),
 	}
 	// The registry is attached unconditionally: with no Codecs config
 	// every registration resolves to the identity spec, which pins raw
@@ -225,6 +236,9 @@ func (p *Pipeline) Staging() *staging.Area { return p.area }
 // Register adds an analysis; all registrations must happen before Run.
 func (p *Pipeline) Register(a Analysis) {
 	p.analyses = append(p.analyses, a)
+	if fa, ok := a.(FrameAnalysis); ok {
+		p.frameVars[a.Name()] = fa.FrameVar()
+	}
 }
 
 // Sim returns the simulation description.
@@ -455,6 +469,10 @@ func (p *Pipeline) recordErr(err error) {
 }
 
 func (p *Pipeline) storeResult(name string, step int, out any) {
+	// Frames leave the process here: encoded into the image store and
+	// replaced by references before the result map ever sees them.
+	// persistFrames runs outside p.mu (the store has its own lock).
+	out = p.persistFrames(name, step, out)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	m, ok := p.results[name]

@@ -187,9 +187,10 @@ func (s *Scheduler) AddTenant(name string, cfg TenantConfig) (*Pipeline, error) 
 		},
 		sim: sm, net: s.net, fabric: s.fabric, ds: s.ds, area: s.area,
 		col: metrics.NewCollector(), codecs: s.codecs,
-		results: make(map[string]map[int]any),
-		eps:     make(map[int]*dart.Endpoint),
-		ov:      &ov, est: overload.NewEstimator(ov.LatencyAlpha, ov.QueueAlpha),
+		results:   make(map[string]map[int]any),
+		eps:       make(map[int]*dart.Endpoint),
+		frameVars: make(map[string]string),
+		ov:        &ov, est: overload.NewEstimator(ov.LatencyAlpha, ov.QueueAlpha),
 		routes: make(map[string]*routeState),
 		tenant: name, sched: s, quar: s.quar, weight: weight,
 		preEps: make(map[int]*dart.Endpoint),

@@ -24,6 +24,11 @@ type VizInSitu struct {
 	// ... enabling scientists to explore different aspects ... in
 	// linked-views"); it is appended to the analysis name.
 	Tag string
+	// Cameras renders the step from an orbit of view directions
+	// (render.OrbitDirs) instead of the single Dir, producing a
+	// *render.FrameSet — the Cinema-style image database's camera axis.
+	// 0 or 1 keeps the single-Dir path byte for byte.
+	Cameras int
 }
 
 // NewVizInSitu returns an in-situ renderer with sensible defaults for
@@ -46,7 +51,7 @@ func (v *VizInSitu) Name() string {
 // Every implements Analysis.
 func (v *VizInSitu) Every() int { return v.EveryN }
 
-func (v *VizInSitu) renderer(global grid.Box, f *grid.Field) (*render.Renderer, error) {
+func (v *VizInSitu) renderer(global grid.Box, dir [3]float64) (*render.Renderer, error) {
 	tf := v.TF
 	if tf == nil {
 		// The default must be identical on every rank (a per-rank
@@ -54,11 +59,26 @@ func (v *VizInSitu) renderer(global grid.Box, f *grid.Field) (*render.Renderer, 
 		// covering the proxy's temperature range.
 		tf = render.HotMetal(0.2, 2.0)
 	}
-	return render.NewRenderer(v.Width, v.Height, tf, v.Dir, [3]float64{0, 1, 0}, v.StepSize, global)
+	return render.NewRenderer(v.Width, v.Height, tf, dir, [3]float64{0, 1, 0}, v.StepSize, global)
+}
+
+// FrameVar implements FrameAnalysis: the store variable in-situ frames
+// are filed under.
+func (v *VizInSitu) FrameVar() string {
+	name := v.Var
+	if name == "" {
+		name = "T"
+	}
+	name += ".insitu"
+	if v.Tag != "" {
+		name += "." + v.Tag
+	}
+	return name
 }
 
 // RunInSitu implements InSituAnalysis: render the local block, gather,
-// composite on rank 0.
+// composite on rank 0. With Cameras > 1 the step renders once per orbit
+// direction and rank 0 returns the full *render.FrameSet.
 func (v *VizInSitu) RunInSitu(ctx *Ctx) (any, error) {
 	name := v.Var
 	if name == "" {
@@ -68,7 +88,39 @@ func (v *VizInSitu) RunInSitu(ctx *Ctx) (any, error) {
 	if f == nil {
 		return nil, fmt.Errorf("viz: unknown variable %q", name)
 	}
-	r, err := v.renderer(ctx.Global, f)
+	if v.Cameras <= 1 {
+		img, err := v.renderOne(ctx, f, v.Dir)
+		if err != nil || ctx.Comm.ID() != 0 {
+			return nil, err
+		}
+		return img, nil
+	}
+	fs := &render.FrameSet{}
+	for i, dir := range render.OrbitDirs(v.Cameras) {
+		img, err := v.renderOne(ctx, f, dir)
+		if err != nil {
+			for _, fr := range fs.Frames {
+				render.PutImage(fr.Img)
+			}
+			return nil, err
+		}
+		if ctx.Comm.ID() == 0 {
+			fs.Frames = append(fs.Frames, render.Frame{Cam: render.CameraName(i), Img: img})
+		}
+	}
+	if ctx.Comm.ID() != 0 {
+		return nil, nil
+	}
+	return fs, nil
+}
+
+// renderOne renders the step from one view direction: local block
+// ray-cast, gather, front-to-back composite on rank 0. The gathered
+// partial images are recycled once composited — Gather shares pointers
+// in-process and no producer touches its partial after the gather, so
+// rank 0 owns all of them here.
+func (v *VizInSitu) renderOne(ctx *Ctx, f *grid.Field, dir [3]float64) (*render.Image, error) {
+	r, err := v.renderer(ctx.Global, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +135,11 @@ func (v *VizInSitu) RunInSitu(ctx *Ctx) (any, error) {
 	for _, rank := range order {
 		ordered = append(ordered, images[rank].(*render.Image))
 	}
-	return render.CompositeFrontToBack(ordered)
+	out, err := render.CompositeFrontToBack(ordered)
+	for _, p := range ordered {
+		render.PutImage(p)
+	}
+	return out, err
 }
 
 // VizHybrid is the hybrid renderer: each rank down-samples its block
@@ -102,6 +158,12 @@ type VizHybrid struct {
 	// Tag distinguishes multiple simultaneous instances (linked
 	// views); it is appended to the analysis name.
 	Tag string
+	// Cameras ray-casts the down-sampled volume once per orbit
+	// direction (render.OrbitDirs) in the in-transit stage, producing a
+	// *render.FrameSet. The staged payload is unchanged — the extra
+	// views cost only in-transit compute, which is the hybrid
+	// placement's whole point. 0 or 1 keeps the single-Dir path.
+	Cameras int
 	// AutoRange steers the transfer function per step: the in-transit
 	// stage frames HotMetal over the received blocks' global value
 	// range, so the rendering adapts as the flame evolves — the
@@ -171,14 +233,30 @@ func (v *VizHybrid) PayloadFloatTail(payload []byte) (int, bool) {
 	return grid.FloatTailOffset(payload)
 }
 
+// FrameVar implements FrameAnalysis: the store variable hybrid frames
+// are filed under.
+func (v *VizHybrid) FrameVar() string {
+	name := v.Var
+	if name == "" {
+		name = "T"
+	}
+	name += ".hybrid"
+	if v.Tag != "" {
+		name += "." + v.Tag
+	}
+	return name
+}
+
 // RunFallback implements InSituFallback: when the transit path is
 // degraded the frame renders fully in-situ — full-resolution
 // ray-casting plus gather/composite — instead of staging down-sampled
-// blocks.
+// blocks. The camera count carries over so a degraded step still fills
+// every cell of its image-database row.
 func (v *VizHybrid) RunFallback(ctx *Ctx) (any, error) {
 	in := &VizInSitu{
 		Var: v.Var, Width: v.Width, Height: v.Height,
 		Dir: v.Dir, TF: v.TF, StepSize: v.StepSize, Tag: v.Tag,
+		Cameras: v.Cameras,
 	}
 	return in.RunInSitu(ctx)
 }
@@ -204,9 +282,28 @@ func (v *VizHybrid) InTransit(step int, payloads [][]byte) (any, error) {
 			tf = render.HotMetal(0.2, 2.0)
 		}
 	}
-	r, err := render.NewRenderer(v.Width, v.Height, tf, v.Dir, [3]float64{0, 1, 0}, v.StepSize, bt.Bounds())
-	if err != nil {
+	if v.Cameras <= 1 {
+		r, err := render.NewRenderer(v.Width, v.Height, tf, v.Dir, [3]float64{0, 1, 0}, v.StepSize, bt.Bounds())
+		if err != nil {
+			return nil, err
+		}
+		return r.RenderTable(bt)
+	}
+	fs := &render.FrameSet{}
+	for i, dir := range render.OrbitDirs(v.Cameras) {
+		r, err := render.NewRenderer(v.Width, v.Height, tf, dir, [3]float64{0, 1, 0}, v.StepSize, bt.Bounds())
+		if err == nil {
+			var img *render.Image
+			img, err = r.RenderTable(bt)
+			if err == nil {
+				fs.Frames = append(fs.Frames, render.Frame{Cam: render.CameraName(i), Img: img})
+				continue
+			}
+		}
+		for _, fr := range fs.Frames {
+			render.PutImage(fr.Img)
+		}
 		return nil, err
 	}
-	return r.RenderTable(bt)
+	return fs, nil
 }

@@ -63,9 +63,10 @@ func CompositeFrontToBack(parts []*Image) (*Image, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("render: nothing to composite")
 	}
-	out := NewImage(parts[0].W, parts[0].H)
+	out := GetImage(parts[0].W, parts[0].H)
 	for _, p := range parts {
 		if err := out.Under(p); err != nil {
+			PutImage(out)
 			return nil, err
 		}
 	}

@@ -1,0 +1,103 @@
+package render
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/adler32"
+	"hash/crc32"
+	"image/color"
+	"io"
+)
+
+// EncodePNG writes the image as a PNG (8-bit RGBA over a black
+// background, like SavePNG) with a fully deterministic byte layout:
+// filter type None on every scanline and a zlib stream of stored
+// (uncompressed) deflate blocks. Unlike image/png, whose compressed
+// output may change between Go releases, this encoder's bytes depend
+// only on the pixel values — so the content digests the image store
+// derives from encoded frames are stable across builds, re-encodes,
+// and machines, and a re-run of a deterministic pipeline reproduces
+// them bit for bit.
+func (im *Image) EncodePNG(w io.Writer) error {
+	if im.W < 1 || im.H < 1 {
+		return fmt.Errorf("render: cannot encode empty %dx%d image", im.W, im.H)
+	}
+	if _, err := w.Write([]byte{137, 'P', 'N', 'G', '\r', '\n', 26, '\n'}); err != nil {
+		return err
+	}
+	var ihdr [13]byte
+	binary.BigEndian.PutUint32(ihdr[0:], uint32(im.W))
+	binary.BigEndian.PutUint32(ihdr[4:], uint32(im.H))
+	ihdr[8] = 8 // bit depth
+	ihdr[9] = 6 // color type RGBA
+	// ihdr[10:13]: compression 0, filter 0, interlace 0
+	if err := writeChunk(w, "IHDR", ihdr[:]); err != nil {
+		return err
+	}
+	if err := writeChunk(w, "IDAT", im.idat()); err != nil {
+		return err
+	}
+	return writeChunk(w, "IEND", nil)
+}
+
+// PNG returns the deterministic PNG encoding as a byte slice.
+func (im *Image) PNG() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := im.EncodePNG(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// idat builds the single IDAT payload: a zlib stream (header, stored
+// deflate blocks, adler32 trailer) over the filtered scanlines.
+func (im *Image) idat() []byte {
+	nr := im.ToNRGBA(color.NRGBA{A: 255})
+	stride := 1 + 4*im.W // filter byte + RGBA
+	raw := make([]byte, im.H*stride)
+	for y := 0; y < im.H; y++ {
+		row := raw[y*stride:]
+		row[0] = 0 // filter None
+		copy(row[1:stride], nr.Pix[y*nr.Stride:y*nr.Stride+4*im.W])
+	}
+	// Stored deflate blocks hold at most 65535 bytes each.
+	nBlocks := (len(raw) + 0xffff - 1) / 0xffff
+	out := make([]byte, 0, 2+len(raw)+5*nBlocks+4)
+	out = append(out, 0x78, 0x01) // zlib header: deflate, 32K window, no dict
+	for off := 0; off < len(raw); off += 0xffff {
+		end := off + 0xffff
+		final := byte(0)
+		if end >= len(raw) {
+			end = len(raw)
+			final = 1
+		}
+		n := end - off
+		out = append(out, final, byte(n), byte(n>>8), byte(^n), byte(^n>>8))
+		out = append(out, raw[off:end]...)
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], adler32.Checksum(raw))
+	return append(out, sum[:]...)
+}
+
+// writeChunk writes one PNG chunk: length, type, data, CRC32 over
+// type+data.
+func writeChunk(w io.Writer, typ string, data []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(data)))
+	copy(hdr[4:], typ)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:])
+	crc.Write(data)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}

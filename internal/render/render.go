@@ -136,7 +136,7 @@ func (r *Renderer) pool() *parallel.Pool {
 // serial render at any pool width; compositing order is untouched
 // because parallelism never crosses an image boundary.
 func (r *Renderer) renderWith(src sampler, clip grid.Box) *Image {
-	img := NewImage(r.Width, r.Height)
+	img := GetImage(r.Width, r.Height)
 	right, up, center, radius := r.camera()
 	tMax := 2 * radius
 	r.pool().ForBlocks(r.Height, func(_, loRow, hiRow int) {
