@@ -27,6 +27,13 @@
 #                   slowdown + poison route), proving victim isolation,
 #                   quarantine open/release, autoscaling, zero leaks
 #   make fmt        gofmt gate: fails if any file needs reformatting
+#   make doccheck   godoc lint (cmd/doccheck): every exported symbol in
+#                   the public-surface packages must carry a doc comment
+#   make configs    declarative-config gate (cmd/pipecheck): every
+#                   examples/configs/*.json must strictly decode and
+#                   validate, and the quickstart config must build and
+#                   run end-to-end with every analysis producing its
+#                   final result and zero pinned staging regions
 #   make obs-check  end-to-end observability gate: builds s3dpipe, runs it
 #                   with the live endpoint, and validates /metrics,
 #                   /trace.json, /events.jsonl (submit/done reconciliation),
@@ -41,9 +48,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench bench-par bench-json bench-json9 bench-gate fuzz-smoke chaos brownout crashmatrix tenants fmt obs-check serve
+.PHONY: tier1 vet build test race bench bench-par bench-json bench-json9 bench-gate fuzz-smoke chaos brownout crashmatrix tenants fmt doccheck configs obs-check serve
 
-tier1: fmt vet build test race
+tier1: fmt vet build test race doccheck
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +58,13 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+doccheck:
+	$(GO) run ./cmd/doccheck ./internal/registry ./internal/core
+
+configs:
+	$(GO) run ./cmd/pipecheck -dir examples/configs
+	$(GO) run ./cmd/pipecheck -run examples/configs/quickstart.json
 
 obs-check:
 	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \

@@ -1,0 +1,141 @@
+// Command doccheck is the godoc lint behind `make doccheck`: it parses
+// the packages named on the command line and fails when any exported
+// package-level symbol — function, method on an exported receiver,
+// type, or const/var declaration — lacks a doc comment. It is the
+// registry's ownership/lifecycle contract made enforceable: an
+// analysis or config knob nobody documented is an analysis or config
+// knob nobody can select from a pipeline config.
+//
+// Usage:
+//
+//	doccheck ./internal/registry ./internal/core
+//
+// Directories are walked non-recursively (each argument is one
+// package directory, matching the go tool's ./pkg path form). Test
+// files are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doccheck DIR [DIR...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range flag.Args() {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported symbol(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns a sorted list of
+// "file:line: symbol" strings for undocumented exported symbols.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: undocumented exported %s",
+			filepath.Join(dir, filepath.Base(p.Filename)), p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// checkFunc flags exported functions and exported methods on exported
+// receivers that carry no doc comment.
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function " + d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return // method on an unexported type: not part of the API
+		}
+		kind = fmt.Sprintf("method %s.%s", recv, d.Name.Name)
+	}
+	report(d.Pos(), kind)
+}
+
+// checkGen flags exported types, consts, and vars. A doc comment on
+// the enclosing declaration group covers every spec inside it, and a
+// per-spec comment covers that spec alone — the same rule godoc uses.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), "const/var "+name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName unwraps a method receiver type expression to its named
+// type, tolerating pointers and generic instantiations.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr:
+		return receiverName(t.X)
+	case *ast.IndexListExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}

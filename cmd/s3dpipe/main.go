@@ -1,11 +1,18 @@
-// Command s3dpipe runs the full hybrid in-situ/in-transit pipeline:
-// the S3D proxy simulation on a configurable decomposition, with any
-// combination of the paper's analyses attached, and prints the
-// resulting Table II style cost breakdown. It is the command-line face
-// of the framework for interactive experimentation:
+// Command s3dpipe is the thin launcher over the analysis registry: it
+// turns a declarative pipeline config into a running hybrid
+// in-situ/in-transit pipeline and prints the resulting Table II style
+// cost breakdown. The preferred entry point is a config file:
+//
+//	s3dpipe -config examples/configs/quickstart.json
+//
+// The original ad-hoc flags still work and are converted into a
+// generated legacy config (printable with -dump-config), so both paths
+// construct pipelines through the identical registry.Build code:
 //
 //	s3dpipe -nx 64 -ny 48 -nz 16 -px 4 -py 4 -pz 2 -steps 10 \
 //	        -stats hybrid -viz hybrid -topology -buckets 4
+//
+// See PIPELINES.md for the complete configuration reference.
 package main
 
 import (
@@ -22,20 +29,19 @@ import (
 	"syscall"
 
 	"insitu/internal/core"
-	"insitu/internal/grid"
-	"insitu/internal/imagestore"
-	"insitu/internal/netsim"
 	"insitu/internal/obs"
 	"insitu/internal/recovery"
+	"insitu/internal/registry"
 	"insitu/internal/render"
 	"insitu/internal/serve"
-	"insitu/internal/sim"
 	"insitu/internal/trace"
 	"insitu/internal/workload"
 )
 
 func main() {
 	var (
+		configPath = flag.String("config", "", "declarative pipeline config file (JSON); supersedes the scenario flags below")
+		dumpConfig = flag.Bool("dump-config", false, "print the effective pipeline config as JSON and exit without running")
 		nx, ny, nz = flag.Int("nx", 56, "global grid x"), flag.Int("ny", 48, "global grid y"), flag.Int("nz", 16, "global grid z")
 		px, py, pz = flag.Int("px", 4, "ranks in x"), flag.Int("py", 4, "ranks in y"), flag.Int("pz", 2, "ranks in z")
 		steps      = flag.Int("steps", 5, "simulation steps")
@@ -71,6 +77,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *configPath != "" && (*overload || *tenants) {
+		fail(fmt.Errorf("-config cannot be combined with the -overload/-tenants scenario flags; use the checked-in scenario configs instead"))
+	}
 	if *overload {
 		runBrownout(*obsAddr, *obsDump, *hold)
 		return
@@ -80,122 +89,104 @@ func main() {
 		return
 	}
 
-	simCfg := sim.DefaultConfig(grid.NewBox(*nx, *ny, *nz), *px, *py, *pz)
-	simCfg.SubSteps = *substeps
-	simCfg.Seed = *seed
-	cfg := core.Config{Sim: simCfg, DSServers: *servers, Buckets: *buckets, Net: netsim.Gemini()}
-	if *journal != "" {
-		cfg.Recovery = &core.RecoveryConfig{Dir: *journal, Every: *ckptEvery}
-	} else if *resume {
-		fail(fmt.Errorf("-resume requires -journal DIR"))
-	}
-	if *serveAddr != "" && *storeDir == "" {
-		fail(fmt.Errorf("-serve requires -store DIR"))
-	}
-	var st *imagestore.Store
-	if *storeDir != "" {
-		s, err := imagestore.Open(*storeDir)
-		if err != nil {
-			fail(err)
+	var cfg *registry.Config
+	var err error
+	if *configPath != "" {
+		cfg, err = registry.LoadConfig(*configPath)
+	} else {
+		if *resume && *journal == "" {
+			fail(fmt.Errorf("-resume requires -journal DIR"))
 		}
-		st = s
-		defer st.Close()
-		cfg.Store = st
+		if *serveAddr != "" && *storeDir == "" {
+			fail(fmt.Errorf("-serve requires -store DIR"))
+		}
+		cfg, err = registry.LegacyOptions{
+			NX: *nx, NY: *ny, NZ: *nz,
+			PX: *px, PY: *py, PZ: *pz,
+			Steps: *steps, Every: *every, SubSteps: *substeps,
+			Buckets: *buckets, Servers: *servers,
+			StatsMode: *statsMode, VizMode: *vizMode,
+			Topology: *topo, TopologyStreaming: *topoStream, TopologyWorkers: *topoPar,
+			FeatureStats: *feat, AutoCorr: *autoc, Contingency: *conting,
+			Assess: *assess, Tracking: *tracking,
+			Factor: *factor, Cameras: *cameras, Seed: *seed,
+			Journal: *journal, CkptEvery: *ckptEvery,
+			StoreDir: *storeDir,
+		}.Config()
 	}
-	p, err := core.NewPipeline(cfg)
 	if err != nil {
 		fail(err)
 	}
+	if *dumpConfig {
+		out, err := cfg.Marshal()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
 
-	switch *statsMode {
-	case "insitu":
-		p.Register(&core.StatsInSitu{EveryN: *every})
-	case "hybrid":
-		p.Register(&core.StatsHybrid{EveryN: *every})
-	case "both":
-		p.Register(&core.StatsInSitu{EveryN: *every})
-		p.Register(&core.StatsHybrid{EveryN: *every})
-	case "off":
-	default:
-		fail(fmt.Errorf("unknown -stats mode %q", *statsMode))
+	b, err := registry.Build(cfg)
+	if err != nil {
+		fail(err)
 	}
-	var vizIS *core.VizInSitu
-	var vizHy *core.VizHybrid
-	switch *vizMode {
-	case "insitu", "both":
-		vizIS = core.NewVizInSitu(320, 240)
-		vizIS.EveryN = *every
-		p.Register(vizIS)
-		if *vizMode == "insitu" {
-			break
+	defer b.Close()
+
+	runSteps := b.Steps(explicitSteps(), 5)
+	if b.Scheduler != nil {
+		runMulti(b, runSteps, *obsAddr, *obsDump, *hold)
+		return
+	}
+	runSingle(b, runSteps, *resume, *timeline, *imgOut, *obsAddr, *obsDump, *hold, *serveAddr)
+}
+
+// explicitSteps returns the -steps value when the user set it on the
+// command line, 0 otherwise — so a config's declared step count wins
+// over the flag default but never over an explicit flag.
+func explicitSteps() int {
+	set := 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "steps" {
+			fmt.Sscanf(f.Value.String(), "%d", &set)
 		}
-		fallthrough
-	case "hybrid":
-		vizHy = core.NewVizHybrid(320, 240, *factor)
-		vizHy.EveryN = *every
-		p.Register(vizHy)
-	case "off":
-	default:
-		fail(fmt.Errorf("unknown -viz mode %q", *vizMode))
-	}
-	if *topo {
-		if *topoStream {
-			t := core.NewTopologyStreaming()
-			t.EveryN = *every
-			t.SimplifyEps = 0.05
-			t.FeatureThreshold = 1.0
-			p.Register(t)
-		} else {
-			t := core.NewTopologyHybrid()
-			t.EveryN = *every
-			t.SimplifyEps = 0.05
-			t.FeatureThreshold = 1.0
-			t.Workers = *topoPar
-			p.Register(t)
-		}
-	}
-	if *feat {
-		p.Register(&core.FeatureStatsHybrid{Threshold: 1.0, EveryN: *every})
-	}
-	if *autoc {
-		p.Register(&core.AutoCorrHybrid{EveryN: *every})
-	}
-	if *conting {
-		p.Register(&core.ContingencyHybrid{EveryN: *every})
-	}
-	if *assess {
-		p.Register(&core.AssessTestInSitu{EveryN: *every})
-	}
-	if *tracking {
-		p.Register(&core.TrackingHybrid{Threshold: 0.05, EveryN: *every})
-	}
-	if *cameras > 1 {
-		if vizIS != nil {
-			vizIS.Cameras = *cameras
-		}
-		if vizHy != nil {
-			vizHy.Cameras = *cameras
-		}
+	})
+	return set
+}
+
+// runSingle runs a single-tenant topology and prints the classic
+// s3dpipe report: recovery summary, timeline, store info, the Table II
+// cost breakdown, and the final-step topology/render artifacts.
+func runSingle(b *registry.Built, steps int, resume, timeline bool, imgOut, obsAddr, obsDump string, hold bool, serveAddr string) {
+	p := b.Pipeline
+	t := &b.Config.Tenants[0]
+	if resume && b.Config.Recovery == nil {
+		fail(fmt.Errorf("-resume requires a recovery plane (-journal or a config recovery block)"))
 	}
 
 	var tl *trace.Timeline
-	if *timeline {
+	if timeline {
 		tl = p.EnableTrace()
 	}
-	pl, stop := setupObs(p, *obsAddr, *obsDump)
-	if st != nil && pl != nil {
-		st.PublishTo(pl.Registry())
+	pl, stop := setupObs(p, obsAddr, obsDump)
+	if b.Store != nil && pl != nil {
+		b.Store.PublishTo(pl.Registry())
 	}
 
+	if serveAddr == "" && b.Config.Store != nil {
+		serveAddr = b.Config.Store.Serve
+	}
+	if serveAddr != "" && b.Store == nil {
+		fail(fmt.Errorf("serving requires an image store (-store DIR or a config store block)"))
+	}
 	// The serving tier starts before the run so live viewers can poll
 	// latest.json while frames are still landing.
 	var stopServe func()
-	if *serveAddr != "" {
-		sv := serve.New(st)
+	if serveAddr != "" {
+		sv := serve.New(b.Store)
 		if pl != nil {
 			sv.PublishTo(pl.Registry())
 		}
-		ln, err := net.Listen("tcp", *serveAddr)
+		ln, err := net.Listen("tcp", serveAddr)
 		if err != nil {
 			fail(err)
 		}
@@ -207,24 +198,26 @@ func main() {
 	}
 
 	fmt.Printf("s3dpipe: grid %dx%dx%d, %d simulation ranks, %d DataSpaces shards, %d buckets, %d steps\n\n",
-		*nx, *ny, *nz, (*px)*(*py)*(*pz), *servers, *buckets, *steps)
+		t.Sim.NX, t.Sim.NY, t.Sim.NZ, t.Sim.PX*t.Sim.PY*t.Sim.PZ,
+		b.Config.Fabric.DSServers, b.Config.TransitBuckets(), steps)
 	var rep *core.Report
-	if *resume {
-		rep, err = p.Resume(*steps)
+	var err error
+	if resume {
+		rep, err = p.Resume(steps)
 	} else {
-		rep, err = p.Run(*steps)
+		rep, err = p.Run(steps)
 	}
 	if err != nil {
 		fail(err)
 	}
-	// Hold covers the serving tier too: with -serve -hold the database
-	// stays browsable after the run until SIGINT/SIGTERM.
-	defer finishObs(pl, stop, *obsDump, *hold && (*obsAddr != "" || *serveAddr != ""))
+	// Hold covers the serving tier too: with serving and -hold the
+	// database stays browsable after the run until SIGINT/SIGTERM.
+	defer finishObs(pl, stop, obsDump, hold && (obsAddr != "" || serveAddr != ""))
 
 	if rec := rep.Recovery; rec != nil {
 		fmt.Printf("recovery: %d commits, %d checkpoints, %d journal fsyncs\n",
 			rec.Commits, rec.Checkpoints, rec.JournalFsyncs)
-		if *resume {
+		if resume {
 			fmt.Printf("resumed from step %d (checkpoint %d): %d tasks replayed in %.3fs\n",
 				rec.ResumedFrom, rec.CheckpointStep, rec.ReplayedTasks, rec.ResumeSeconds)
 		}
@@ -245,10 +238,10 @@ func main() {
 		fmt.Println()
 	}
 
-	if st != nil {
-		info := st.Info()
+	if b.Store != nil {
+		info := b.Store.Info()
 		fmt.Printf("image store: %d frames in %d blobs (%.2f MB) under %s; vars %v, cams %v, latest step %d\n\n",
-			info.Frames, info.Blobs, float64(info.Bytes)/1e6, *storeDir, info.Vars, info.Cams, info.LatestStep)
+			info.Frames, info.Blobs, float64(info.Bytes)/1e6, b.Config.Store.Dir, info.Vars, info.Cams, info.LatestStep)
 	}
 
 	total, perStep, n := rep.Metrics.SimTime()
@@ -257,28 +250,136 @@ func main() {
 	fmt.Printf("network: %d transfers, %.3f MB moved, %v modeled busy\n",
 		rep.Net.Transfers, float64(rep.Net.BytesMoved)/1e6, rep.Net.ModeledBusy.Round(1e3))
 
-	if tr, ok := rep.Result("hybrid topology", lastDue(*steps, *every)).(*core.TopologyResult); ok && tr != nil {
-		fmt.Printf("topology (final step): %d tree nodes resident of %d streamed (peak %d), %d maxima",
-			len(tr.Tree.Nodes), tr.Stream.Declared, tr.Stream.PeakLive, len(tr.Tree.Maxima()))
-		if len(tr.Features) > 0 {
-			fmt.Printf(", %d features above threshold", len(tr.Features))
+	for _, a := range b.Tenants[0].Analyses {
+		if a.Name() != "hybrid topology" {
+			continue
 		}
-		fmt.Println()
+		if tr, ok := rep.Result(a.Name(), lastDue(steps, a.Every())).(*core.TopologyResult); ok && tr != nil {
+			fmt.Printf("topology (final step): %d tree nodes resident of %d streamed (peak %d), %d maxima",
+				len(tr.Tree.Nodes), tr.Stream.Declared, tr.Stream.PeakLive, len(tr.Tree.Maxima()))
+			if len(tr.Features) > 0 {
+				fmt.Printf(", %d features above threshold", len(tr.Features))
+			}
+			fmt.Println()
+		}
 	}
 
-	if *imgOut != "" {
-		if err := os.MkdirAll(*imgOut, 0o755); err != nil {
+	if imgOut != "" {
+		if err := os.MkdirAll(imgOut, 0o755); err != nil {
 			fail(err)
 		}
-		last := lastDue(*steps, *every)
-		if vizIS != nil {
-			if img, ok := rep.Result(vizIS.Name(), last).(*render.Image); ok {
-				save(img, filepath.Join(*imgOut, "insitu.png"))
+		saved := map[string]bool{}
+		for _, a := range b.Tenants[0].Analyses {
+			var file string
+			switch a.(type) {
+			case *core.VizInSitu:
+				file = "insitu.png"
+			case *core.VizHybrid:
+				file = "hybrid.png"
+			default:
+				continue
+			}
+			if saved[file] {
+				continue
+			}
+			if img, ok := rep.Result(a.Name(), lastDue(steps, a.Every())).(*render.Image); ok {
+				save(img, filepath.Join(imgOut, file))
+				saved[file] = true
 			}
 		}
-		if vizHy != nil {
-			if img, ok := rep.Result(vizHy.Name(), last).(*render.Image); ok {
-				save(img, filepath.Join(*imgOut, "hybrid.png"))
+	}
+}
+
+// runMulti runs a multi-tenant config topology and prints the
+// per-tenant fabric summary — the generic sibling of the -tenants
+// scenario output, driven entirely by the config's tenant list.
+func runMulti(b *registry.Built, steps int, obsAddr, obsDump string, hold bool) {
+	s := b.Scheduler
+	fmt.Printf("s3dpipe: multi-tenant fabric %q, %d tenants, %d buckets, %d steps\n\n",
+		b.Config.Name, len(b.Tenants), b.Config.TransitBuckets(), steps)
+
+	var pl *obs.Plane
+	var stop func()
+	if obsAddr != "" || obsDump != "" {
+		pl = s.EnableObs()
+		if obsAddr != "" {
+			ln, err := net.Listen("tcp", obsAddr)
+			if err != nil {
+				fail(err)
+			}
+			names := make([]string, 0, len(b.Tenants))
+			for _, t := range b.Tenants {
+				names = append(names, t.Name)
+			}
+			srv := &http.Server{Handler: obs.Handler(pl, func() any {
+				return map[string]any{
+					"tenants":        names,
+					"active_buckets": s.Staging().ActiveBuckets(),
+				}
+			})}
+			go srv.Serve(ln)
+			fmt.Printf("observability endpoint on http://%s/\n\n", ln.Addr())
+			stop = func() { srv.Close() }
+		}
+	}
+
+	reps, err := s.Run(steps)
+	if err != nil {
+		// Analysis-route failures (e.g. a drill route's deliberate
+		// crashes) leave the per-tenant reports usable; surface the
+		// error and summarize what ran.
+		fmt.Printf("run finished with analysis errors: %v\n\n", err)
+	}
+	defer finishObs(pl, stop, obsDump, hold && obsAddr != "")
+
+	for _, t := range b.Tenants {
+		rep := reps[t.Name]
+		if rep == nil {
+			continue
+		}
+		o := rep.Overload
+		r := rep.Resilience
+		fmt.Printf("tenant %s:\n", t.Name)
+		fmt.Printf("  worst step wall      %v\n", rep.Metrics.MaxStepWall().Round(1e3))
+		fmt.Printf("  steps shaped/shed    %d/%d\n", o.StepsShaped, o.StepsShed)
+		fmt.Printf("  in-situ fallbacks    %d\n", o.StepsFallback)
+		fmt.Printf("  breaker opens        %d\n", o.BreakerOpens)
+		fmt.Printf("  retries/dead letters %d/%d\n", r.Retries, r.DeadLetters)
+		for _, ep := range s.TenantEndpoints(t.Name) {
+			st := ep.Stats()
+			fmt.Printf("  endpoint %-16s %d retries, %d crc failures, %.3f MB moved\n",
+				ep.Name(), st.Retries, st.ChecksumFailures, float64(ep.TransferBytes())/1e6)
+		}
+	}
+
+	fmt.Println("\nshared fabric:")
+	q := s.Quarantine()
+	fmt.Printf("  quarantine           %d opens, %d releases\n", q.Opens(), q.Releases())
+	if a := s.Autoscaler(); a != nil {
+		fmt.Printf("  bucket pool          %d grows, %d shrinks, %d active\n",
+			a.Grows(), a.Shrinks(), s.Staging().ActiveBuckets())
+	}
+	out, avail, total := s.Credits().Snapshot()
+	fmt.Printf("  credits              %d/%d available, %d outstanding\n", avail, total, out)
+
+	fmt.Println("\nrecovery:")
+	for _, t := range b.Tenants {
+		rep := reps[t.Name]
+		if rep == nil {
+			continue
+		}
+		for _, route := range t.Routes {
+			lastDegraded := 0
+			for step := 1; step <= steps; step++ {
+				if _, ok := rep.Result(route, step).(core.Degraded); ok {
+					lastDegraded = step
+				}
+			}
+			if lastDegraded == 0 {
+				fmt.Printf("  %s/%-28s never degraded\n", t.Name, route)
+			} else {
+				fmt.Printf("  %s/%-28s full hybrid again from step %d/%d\n",
+					t.Name, route, lastDegraded+1, steps)
 			}
 		}
 	}

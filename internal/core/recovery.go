@@ -239,6 +239,12 @@ func (p *Pipeline) commitDigests(s int) (map[string]string, bool) {
 	return digests, true
 }
 
+// ResultDigest hashes an analysis result into the short stable token
+// the recovery journal commits — exported so equivalence tests (e.g.
+// legacy-flag path vs config path) can compare whole runs result by
+// result without depending on the journal.
+func ResultDigest(v any) string { return resultDigest(v) }
+
 // resultDigest hashes a stored analysis result into a short stable
 // token. %v formatting is deterministic for the value shapes analyses
 // store (fmt sorts map keys); top-level pointers are dereferenced so

@@ -1,0 +1,296 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"insitu/internal/codec"
+	"insitu/internal/core"
+	"insitu/internal/faults"
+	"insitu/internal/grid"
+	"insitu/internal/imagestore"
+	"insitu/internal/overload"
+	"insitu/internal/sim"
+)
+
+// Built is one constructed, ready-to-Run pipeline topology. Exactly
+// one of Pipeline and Scheduler is non-nil: single-tenant configs
+// build a core.Pipeline, multi-tenant configs a core.Scheduler. The
+// caller owns the lifecycle — Run once, then Close.
+type Built struct {
+	// Config is the validated config this topology was built from.
+	Config *Config
+	// Pipeline is the single-tenant pipeline (nil for multi-tenant).
+	Pipeline *core.Pipeline
+	// Scheduler is the multi-tenant scheduler (nil for single-tenant).
+	Scheduler *core.Scheduler
+	// Store is the opened image store, when the config declared one.
+	Store *imagestore.Store
+	// Tenants holds each tenant's pipeline and constructed analyses,
+	// in config order.
+	Tenants []BuiltTenant
+}
+
+// BuiltTenant is one tenant's constructed slice of a Built topology.
+type BuiltTenant struct {
+	// Name is the tenant name ("" for unnamed single-tenant configs).
+	Name string
+	// Pipeline is the tenant's pipeline (for single-tenant configs,
+	// identical to Built.Pipeline).
+	Pipeline *core.Pipeline
+	// Analyses are the registered analyses, in config order.
+	Analyses []core.Analysis
+	// Routes names the hybrid routes among Analyses — the analyses
+	// whose payloads cross the transit fabric.
+	Routes []string
+}
+
+// Close releases the topology's resources (the image store; pipelines
+// and schedulers release theirs when Run returns).
+func (b *Built) Close() error {
+	if b.Store != nil {
+		return b.Store.Close()
+	}
+	return nil
+}
+
+// Steps resolves the run length: the explicit argument when > 0, else
+// the config's steps, else def.
+func (b *Built) Steps(explicit, def int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if b.Config.Steps > 0 {
+		return b.Config.Steps
+	}
+	return def
+}
+
+// Build validates cfg and constructs the declared topology, routing
+// every analysis through the registry. It is the single construction
+// path for config-declared runs — the legacy flag path and the
+// -config path both end here, which is what makes them byte-identical.
+func Build(cfg *Config) (*Built, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Tenants) == 1 {
+		return buildSingle(cfg)
+	}
+	return buildMulti(cfg)
+}
+
+// buildSingle constructs a single-tenant core.Pipeline.
+func buildSingle(cfg *Config) (*Built, error) {
+	t := &cfg.Tenants[0]
+	analyses, routes, codecs, err := buildAnalyses(t)
+	if err != nil {
+		return nil, err
+	}
+
+	ccfg := core.Config{
+		Sim:             simConfig(t.Sim),
+		DSServers:       defaultInt(cfg.Fabric.DSServers, 2),
+		Buckets:         maxInt(1, cfg.TransitBuckets()),
+		Net:             netConfig(cfg.Fabric.Net),
+		StepBudget:      time.Duration(t.StepBudgetMS) * time.Millisecond,
+		MaxTaskAttempts: cfg.Fabric.MaxTaskAttempts,
+		Overload:        overloadConfig(t.Overload),
+		Codecs:          codecs,
+	}
+	if cfg.Recovery != nil {
+		ccfg.Recovery = &core.RecoveryConfig{Dir: cfg.Recovery.Dir, Every: cfg.Recovery.EverySteps}
+	}
+	var store *imagestore.Store
+	if cfg.Store != nil {
+		store, err = imagestore.Open(cfg.Store.Dir)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Store = store
+	}
+
+	p, err := core.NewPipeline(ccfg)
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
+	for _, a := range analyses {
+		p.Register(a)
+	}
+	installFaults(cfg, p.Network().SetFaults, nil)
+
+	return &Built{
+		Config:   cfg,
+		Pipeline: p,
+		Store:    store,
+		Tenants: []BuiltTenant{{
+			Name: t.Name, Pipeline: p, Analyses: analyses, Routes: routes,
+		}},
+	}, nil
+}
+
+// buildMulti constructs a multi-tenant core.Scheduler with one
+// AddTenant per config tenant, in order.
+func buildMulti(cfg *Config) (*Built, error) {
+	scfg := core.SchedulerConfig{
+		DSServers:       defaultInt(cfg.Fabric.DSServers, 2),
+		Buckets:         maxInt(1, cfg.TransitBuckets()),
+		MaxBuckets:      cfg.Fabric.MaxBuckets,
+		Net:             netConfig(cfg.Fabric.Net),
+		Credits:         cfg.Fabric.Credits,
+		TenantReserve:   cfg.Fabric.TenantReserve,
+		QueueBound:      cfg.Fabric.QueueBound,
+		MaxTaskAttempts: cfg.Fabric.MaxTaskAttempts,
+	}
+	if a := cfg.Fabric.Autoscale; a != nil {
+		scfg.Autoscale = &overload.AutoscaleConfig{
+			Min: a.Min, Max: a.Max,
+			QueueHighPerBucket: a.QueueHighPerBucket,
+			GrowAfter:          a.GrowAfter,
+			ShrinkAfter:        a.ShrinkAfter,
+		}
+	}
+	if q := cfg.Fabric.Quarantine; q != nil {
+		scfg.Quarantine = overload.QuarantineConfig{Strikes: q.Strikes, ProbeAfter: q.ProbeAfter}
+	}
+	s, err := core.NewScheduler(scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	built := &Built{Config: cfg, Scheduler: s}
+	for ti := range cfg.Tenants {
+		t := &cfg.Tenants[ti]
+		analyses, routes, codecs, err := buildAnalyses(t)
+		if err != nil {
+			return nil, err
+		}
+		p, err := s.AddTenant(t.Name, core.TenantConfig{
+			Sim:        simConfig(t.Sim),
+			Overload:   overloadConfig(t.Overload),
+			Codecs:     codecs,
+			StepBudget: time.Duration(t.StepBudgetMS) * time.Millisecond,
+			Weight:     t.Weight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyses {
+			p.Register(a)
+		}
+		built.Tenants = append(built.Tenants, BuiltTenant{
+			Name: t.Name, Pipeline: p, Analyses: analyses, Routes: routes,
+		})
+	}
+
+	installFaults(cfg, s.Network().SetFaults, func(tenant string) []int {
+		var ids []int
+		for _, ep := range s.TenantEndpoints(tenant) {
+			ids = append(ids, ep.ID())
+		}
+		return ids
+	})
+	return built, nil
+}
+
+// buildAnalyses constructs one tenant's analyses in config order and
+// derives the hybrid route list and the per-route codec map.
+func buildAnalyses(t *TenantConfig) ([]core.Analysis, []string, map[string]codec.Spec, error) {
+	var (
+		analyses []core.Analysis
+		routes   []string
+		codecs   map[string]codec.Spec
+	)
+	setCodec := func(route string, cc *CodecConfig) {
+		if codecs == nil {
+			codecs = make(map[string]codec.Spec)
+		}
+		codecs[route] = codecSpec(cc)
+	}
+	if t.Codec != nil {
+		setCodec("*", t.Codec)
+	}
+	for ai := range t.Analyses {
+		ac := &t.Analyses[ai]
+		p := ac.Params
+		if p.Placement == "" {
+			p.Placement = t.Placement
+		}
+		if p.Placement == "" {
+			p.Placement = DefaultPlacement(ac.Analysis)
+		}
+		a, err := New(ac.Analysis, p)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("analysis %q: %w", ac.Analysis, err)
+		}
+		analyses = append(analyses, a)
+		if isHybridRoute(a) {
+			routes = append(routes, a.Name())
+		}
+		if ac.Codec != nil {
+			setCodec(a.Name(), ac.Codec)
+		}
+	}
+	return analyses, routes, codecs, nil
+}
+
+// isHybridRoute reports whether the analysis stages payloads across
+// the transit fabric (it carries an in-situ stage feeding an
+// in-transit consumer).
+func isHybridRoute(a core.Analysis) bool {
+	_, ok := a.(interface {
+		InSituStage(ctx *core.Ctx) ([]byte, error)
+	})
+	return ok
+}
+
+// installFaults converts the config's fault schedule and installs it
+// on the modeled network. resolve maps a tenant name to its endpoint
+// IDs (nil for single-tenant configs, whose windows are unscoped).
+func installFaults(cfg *Config, set func(*faults.Injector), resolve func(string) []int) {
+	if cfg.Faults == nil {
+		return
+	}
+	fc := faults.Config{Seed: cfg.Faults.Seed}
+	for _, s := range cfg.Faults.Slowdowns {
+		w := faults.SlowdownWindow{From: s.From, Until: s.Until, Factor: s.Factor}
+		if s.Tenant != "" && resolve != nil {
+			w.Endpoints = resolve(s.Tenant)
+		}
+		fc.Slowdowns = append(fc.Slowdowns, w)
+	}
+	set(faults.New(fc))
+}
+
+// simConfig converts a validated SimConfig to the proxy simulation's
+// config, starting from the repo defaults.
+func simConfig(s SimConfig) sim.Config {
+	c := sim.DefaultConfig(grid.NewBox(s.NX, s.NY, s.NZ), s.PX, s.PY, s.PZ)
+	if s.SubSteps > 0 {
+		c.SubSteps = s.SubSteps
+	}
+	if s.Seed != 0 {
+		c.Seed = s.Seed
+	}
+	return c
+}
+
+// defaultInt returns v, or def when v is zero.
+func defaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// maxInt is the two-arg integer max (avoids requiring go1.21 builtins
+// in older toolchains).
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,573 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"insitu/internal/codec"
+	"insitu/internal/netsim"
+	"insitu/internal/overload"
+)
+
+// Config is one declarative pipeline run: a shared fabric, one or more
+// tenants, and the optional recovery/store/fault planes. It is the
+// JSON document LoadConfig reads and the value Build executes. A
+// single tenant builds a core.Pipeline; several build a
+// core.Scheduler. The zero value of every knob means "core default" —
+// a config states only what it changes, and Validate never fills
+// defaults in (purity lets the same Config be validated, diffed, and
+// built without drift).
+type Config struct {
+	// Name labels the run in output and tooling (optional).
+	Name string `json:"name,omitempty"`
+	// Steps is the default step count when the launcher's -steps flag
+	// is not given (0 = launcher default).
+	Steps int `json:"steps,omitempty"`
+	// Fabric configures the shared transit tier: DataSpaces shards,
+	// staging buckets, the modeled interconnect, and the scheduler-
+	// level knobs for multi-tenant runs.
+	Fabric FabricConfig `json:"fabric"`
+	// Tenants declares the pipelines sharing the fabric. Exactly one
+	// tenant means a single-tenant core.Pipeline; names are required
+	// (and must be unique) once there are several.
+	Tenants []TenantConfig `json:"tenants"`
+	// Recovery, when non-nil, enables the durable step journal and
+	// checkpoint/restart plane (single-tenant only).
+	Recovery *RecoveryConfig `json:"recovery,omitempty"`
+	// Store, when non-nil, files rendered frames into the Cinema-style
+	// image database (single-tenant only).
+	Store *StoreConfig `json:"store,omitempty"`
+	// Faults, when non-nil, installs a deterministic fault schedule on
+	// the modeled network.
+	Faults *FaultsConfig `json:"faults,omitempty"`
+}
+
+// FabricConfig declares the shared transit tier. The scheduler-only
+// fields (MaxBuckets, Credits, TenantReserve, Autoscale, Quarantine)
+// are rejected by Validate in single-tenant configs, where they have
+// no carrier.
+type FabricConfig struct {
+	// DSServers is the DataSpaces service shard count (0 = 2).
+	DSServers int `json:"ds_servers,omitempty"`
+	// Buckets is the staging-bucket count. Omitted (null) = 4, the
+	// repo's default transit tier; an explicit 0 declares a fabric
+	// with no transit tier at all, so hybrid/in-transit analyses fail
+	// validation with ErrNoTransitFabric.
+	Buckets *int `json:"buckets,omitempty"`
+	// MaxBuckets caps the autoscaled pool (multi-tenant only).
+	MaxBuckets int `json:"max_buckets,omitempty"`
+	// Net selects the modeled interconnect.
+	Net NetConfig `json:"net,omitempty"`
+	// QueueBound bounds each tenant's task queue (multi-tenant; the
+	// single-tenant bound lives in the tenant's overload config).
+	QueueBound int `json:"queue_bound,omitempty"`
+	// Credits is the shared transit credit total (multi-tenant only).
+	Credits int `json:"credits,omitempty"`
+	// TenantReserve is each tenant's guaranteed credit floor — the
+	// bulkhead (multi-tenant only).
+	TenantReserve int `json:"tenant_reserve,omitempty"`
+	// MaxTaskAttempts bounds per-task bucket handoffs before
+	// dead-lettering (0 = staging default of 3).
+	MaxTaskAttempts int `json:"max_task_attempts,omitempty"`
+	// Autoscale, when non-nil, lets the scheduler grow/shrink the
+	// bucket pool (multi-tenant only).
+	Autoscale *AutoscaleConfig `json:"autoscale,omitempty"`
+	// Quarantine tunes the poison-route quarantine (multi-tenant
+	// only).
+	Quarantine *QuarantineConfig `json:"quarantine,omitempty"`
+}
+
+// NetConfig selects and scales the modeled interconnect.
+type NetConfig struct {
+	// Profile names the hardware model: "" (uncontended defaults) or
+	// "gemini" (the Cray XK6 Gemini profile from the paper's Titan
+	// runs).
+	Profile string `json:"profile,omitempty"`
+	// TimeScale multiplies every modeled duration (0 = 1.0; the soak
+	// scenarios use 0.1 to compress wall time).
+	TimeScale float64 `json:"time_scale,omitempty"`
+}
+
+// AutoscaleConfig mirrors overload.AutoscaleConfig in JSON form.
+type AutoscaleConfig struct {
+	// Min and Max bound the bucket pool.
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+	// QueueHighPerBucket marks pressure at this queue depth per active
+	// bucket.
+	QueueHighPerBucket int `json:"queue_high_per_bucket,omitempty"`
+	// GrowAfter / ShrinkAfter are the consecutive-observation
+	// hystereses.
+	GrowAfter   int `json:"grow_after,omitempty"`
+	ShrinkAfter int `json:"shrink_after,omitempty"`
+}
+
+// QuarantineConfig mirrors overload.QuarantineConfig in JSON form.
+type QuarantineConfig struct {
+	// Strikes quarantines a route after this many consecutive poison
+	// dispositions.
+	Strikes int `json:"strikes,omitempty"`
+	// ProbeAfter allows one half-open probe after this many denials.
+	ProbeAfter int `json:"probe_after,omitempty"`
+}
+
+// RecoveryConfig mirrors core.RecoveryConfig in JSON form.
+type RecoveryConfig struct {
+	// Dir holds the journal and checkpoints.
+	Dir string `json:"dir"`
+	// EverySteps is the checkpoint cadence (0 = 5).
+	EverySteps int `json:"every_steps,omitempty"`
+}
+
+// StoreConfig declares the Cinema-style image database sink.
+type StoreConfig struct {
+	// Dir is the store directory.
+	Dir string `json:"dir"`
+	// Serve, when non-empty, is the address the launcher serves the
+	// database on over HTTP (e.g. ":8080"; the viewer page, /db, /img,
+	// /latest.json).
+	Serve string `json:"serve,omitempty"`
+}
+
+// FaultsConfig is the deterministic fault schedule in JSON form.
+// Only the knobs the scenarios exercise are declared; richer
+// schedules still go through faults.Config in Go.
+type FaultsConfig struct {
+	// Seed drives the injector's PRNG.
+	Seed int64 `json:"seed,omitempty"`
+	// Slowdowns are the scheduled bandwidth-collapse windows.
+	Slowdowns []SlowdownConfig `json:"slowdowns,omitempty"`
+}
+
+// SlowdownConfig is one bandwidth-collapse (brownout) window.
+type SlowdownConfig struct {
+	// From/Until bound the window in transfer indices.
+	From  int `json:"from"`
+	Until int `json:"until"`
+	// Tenant scopes the window to one tenant's rank endpoints
+	// (multi-tenant configs; resolved to endpoint IDs at Build time).
+	// Empty hits every transfer in the window.
+	Tenant string `json:"tenant,omitempty"`
+	// Factor multiplies the modeled duration of covered transfers.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// TenantConfig declares one pipeline: its simulation, its analysis
+// list, and its admission/codec tuning.
+type TenantConfig struct {
+	// Name identifies the tenant (required in multi-tenant configs).
+	Name string `json:"name,omitempty"`
+	// Sim sizes the proxy simulation.
+	Sim SimConfig `json:"sim"`
+	// Placement is the tenant-wide default placement for analyses that
+	// omit their own.
+	Placement Placement `json:"placement,omitempty"`
+	// StepBudgetMS bounds each step's hybrid transit path in
+	// milliseconds (0 = no budget).
+	StepBudgetMS int `json:"step_budget_ms,omitempty"`
+	// Weight is the deficit-round-robin share (multi-tenant only;
+	// 0 = 1).
+	Weight int `json:"weight,omitempty"`
+	// Overload, when non-nil, enables (single-tenant) or tunes
+	// (multi-tenant) the graded admission plane.
+	Overload *OverloadConfig `json:"overload,omitempty"`
+	// Codec is the default transfer-path codec for every hybrid route
+	// ("*" in core terms); per-analysis codecs override it.
+	Codec *CodecConfig `json:"codec,omitempty"`
+	// Analyses is the tenant's analysis list, registered in order.
+	Analyses []AnalysisConfig `json:"analyses"`
+}
+
+// SimConfig sizes one tenant's proxy simulation.
+type SimConfig struct {
+	// NX/NY/NZ are the global grid dimensions (all required).
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+	NZ int `json:"nz"`
+	// PX/PY/PZ decompose the grid into ranks (all required).
+	PX int `json:"px"`
+	PY int `json:"py"`
+	PZ int `json:"pz"`
+	// SubSteps runs the solver N times per pipeline step (0 = 1).
+	SubSteps int `json:"sub_steps,omitempty"`
+	// Seed initializes the jet perturbations (0 = 1, the repo
+	// default).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// AnalysisConfig is one analysis entry: its registry name, its typed
+// params, and an optional route-specific codec.
+type AnalysisConfig struct {
+	// Analysis is the registry name ("stats", "viz", "topology", ...).
+	Analysis string `json:"analysis"`
+	// Params is inlined: placement, every, var, width, ... appear as
+	// sibling keys of "analysis" in the JSON document.
+	Params
+	// Codec overrides the tenant default codec for this route.
+	Codec *CodecConfig `json:"codec,omitempty"`
+}
+
+// OverloadConfig mirrors overload.Config in JSON form, with durations
+// in microseconds.
+type OverloadConfig struct {
+	// Breaker tunes the per-route circuit breaker.
+	Breaker BreakerConfig `json:"breaker,omitempty"`
+	// Ladder tunes the admission ladder.
+	Ladder LadderConfig `json:"ladder,omitempty"`
+	// QueueBound bounds the task-queue depth (0 = 8).
+	QueueBound int `json:"queue_bound,omitempty"`
+	// Reserve is the per-analysis credit floor (0 = 1).
+	Reserve int `json:"reserve,omitempty"`
+	// Credits overrides the credit supply (0 = buckets + QueueBound).
+	Credits int `json:"credits,omitempty"`
+	// ProbeLatencyMaxUS fails slow half-open probes (µs; 0 = 5000).
+	ProbeLatencyMaxUS int `json:"probe_latency_max_us,omitempty"`
+	// LatencyAlpha and QueueAlpha smooth the estimator (0 = 0.5).
+	LatencyAlpha float64 `json:"latency_alpha,omitempty"`
+	QueueAlpha   float64 `json:"queue_alpha,omitempty"`
+}
+
+// BreakerConfig mirrors overload.BreakerConfig in JSON form.
+type BreakerConfig struct {
+	// FailureThreshold opens the breaker after N consecutive failures.
+	FailureThreshold int `json:"failure_threshold,omitempty"`
+	// LatencyThresholdUS opens it when the latency EWMA passes this
+	// (µs).
+	LatencyThresholdUS int `json:"latency_threshold_us,omitempty"`
+	// LatencyAlpha smooths the success-latency EWMA.
+	LatencyAlpha float64 `json:"latency_alpha,omitempty"`
+	// CooldownUS is the open→half-open wait (µs).
+	CooldownUS int `json:"cooldown_us,omitempty"`
+}
+
+// LadderConfig mirrors overload.LadderConfig in JSON form.
+type LadderConfig struct {
+	// QueueHigh/QueueLow are the queue-depth EWMA watermarks.
+	QueueHigh float64 `json:"queue_high,omitempty"`
+	QueueLow  float64 `json:"queue_low,omitempty"`
+	// LatencyHighUS/LatencyLowUS are the latency watermarks (µs).
+	LatencyHighUS int `json:"latency_high_us,omitempty"`
+	LatencyLowUS  int `json:"latency_low_us,omitempty"`
+	// DegradeAfter/RecoverAfter are the rung hystereses.
+	DegradeAfter int `json:"degrade_after,omitempty"`
+	RecoverAfter int `json:"recover_after,omitempty"`
+}
+
+// CodecConfig selects a transfer-path codec.
+type CodecConfig struct {
+	// ID names the codec: "identity", "delta", "quantize", or
+	// "subsample".
+	ID string `json:"id"`
+	// MaxError is quantize's absolute error bound (quantize only).
+	MaxError float64 `json:"max_error,omitempty"`
+	// Stride is subsample's keep-every-Nth stride (subsample only).
+	Stride int `json:"stride,omitempty"`
+}
+
+// ValidationError ties a typed registry error to the config path that
+// produced it ("tenants[1].analyses[0]", "fabric.autoscale", ...).
+type ValidationError struct {
+	// Path is the JSON-ish path of the failing element.
+	Path string
+	// Err is the underlying typed error (errors.Is-matchable).
+	Err error
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return e.Path + ": " + e.Err.Error() }
+
+// Unwrap exposes the typed error to errors.Is/As.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// LoadConfig reads, strictly decodes (unknown keys are errors — a
+// typo'd knob must not silently validate), and validates a pipeline
+// config file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := ParseConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ParseConfig strictly decodes and validates a pipeline config from
+// JSON bytes.
+func ParseConfig(data []byte) (*Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Marshal renders the config as indented JSON (the exact bytes the
+// example files pin in tests).
+func (c *Config) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Validate checks the whole config without executing or mutating
+// anything: every analysis resolves through the registry with its
+// placement and params, tenant names are unique, scheduler-only knobs
+// appear only in multi-tenant configs, and every cross-reference
+// (slowdown tenant scopes, codec IDs) lands. Errors are
+// *ValidationError values aggregated with errors.Join; match them
+// with errors.Is against the Err* sentinels.
+func (c *Config) Validate() error {
+	var errs []error
+	fail := func(path string, err error) { errs = append(errs, &ValidationError{Path: path, Err: err}) }
+
+	if len(c.Tenants) == 0 {
+		fail("tenants", ErrNoTenants)
+		return errors.Join(errs...)
+	}
+	multi := len(c.Tenants) > 1
+
+	if !multi {
+		if c.Fabric.MaxBuckets != 0 {
+			fail("fabric.max_buckets", fmt.Errorf("%w: scheduler knob in a single-tenant config", ErrConflictingParams))
+		}
+		if c.Fabric.Credits != 0 {
+			fail("fabric.credits", fmt.Errorf("%w: scheduler knob in a single-tenant config", ErrConflictingParams))
+		}
+		if c.Fabric.TenantReserve != 0 {
+			fail("fabric.tenant_reserve", fmt.Errorf("%w: scheduler knob in a single-tenant config", ErrConflictingParams))
+		}
+		if c.Fabric.QueueBound != 0 {
+			fail("fabric.queue_bound", fmt.Errorf("%w: scheduler knob in a single-tenant config (use the tenant's overload.queue_bound)", ErrConflictingParams))
+		}
+		if c.Fabric.Autoscale != nil {
+			fail("fabric.autoscale", fmt.Errorf("%w: scheduler knob in a single-tenant config", ErrConflictingParams))
+		}
+		if c.Fabric.Quarantine != nil {
+			fail("fabric.quarantine", fmt.Errorf("%w: scheduler knob in a single-tenant config", ErrConflictingParams))
+		}
+	} else {
+		if c.Recovery != nil {
+			fail("recovery", fmt.Errorf("%w: recovery is single-tenant only (the journal must own the task queue)", ErrConflictingParams))
+		}
+		if c.Store != nil {
+			fail("store", fmt.Errorf("%w: the image store is single-tenant only", ErrConflictingParams))
+		}
+	}
+
+	if c.Fabric.DSServers < 0 {
+		fail("fabric.ds_servers", fmt.Errorf("%w: negative shard count %d", ErrBadParam, c.Fabric.DSServers))
+	}
+	if c.Fabric.Buckets != nil && *c.Fabric.Buckets < 0 {
+		fail("fabric.buckets", fmt.Errorf("%w: negative bucket count %d", ErrBadParam, *c.Fabric.Buckets))
+	}
+	switch c.Fabric.Net.Profile {
+	case "", "gemini":
+	default:
+		fail("fabric.net.profile", fmt.Errorf("%w: unknown profile %q (known: gemini)", ErrBadParam, c.Fabric.Net.Profile))
+	}
+	if c.Fabric.Net.TimeScale < 0 {
+		fail("fabric.net.time_scale", fmt.Errorf("%w: negative time scale %v", ErrBadParam, c.Fabric.Net.TimeScale))
+	}
+
+	if c.Recovery != nil && c.Recovery.Dir == "" {
+		fail("recovery.dir", fmt.Errorf("%w: recovery requires a directory", ErrBadParam))
+	}
+	if c.Store != nil && c.Store.Dir == "" {
+		fail("store.dir", fmt.Errorf("%w: the store requires a directory", ErrBadParam))
+	}
+
+	hasTransit := c.TransitBuckets() > 0
+	seen := make(map[string]bool, len(c.Tenants))
+	for ti := range c.Tenants {
+		t := &c.Tenants[ti]
+		path := fmt.Sprintf("tenants[%d]", ti)
+		if multi && t.Name == "" {
+			fail(path+".name", fmt.Errorf("%w: tenant name required in multi-tenant configs", ErrBadParam))
+		}
+		if t.Name != "" {
+			if seen[t.Name] {
+				fail(path+".name", fmt.Errorf("%w: %q", ErrDuplicateTenant, t.Name))
+			}
+			seen[t.Name] = true
+		}
+		if t.Placement != "" && !t.Placement.Valid() {
+			fail(path+".placement", fmt.Errorf("%w: %q", ErrBadPlacement, t.Placement))
+		}
+		if t.StepBudgetMS < 0 {
+			fail(path+".step_budget_ms", fmt.Errorf("%w: negative step budget", ErrBadParam))
+		}
+		if t.Weight != 0 && !multi {
+			fail(path+".weight", fmt.Errorf("%w: weight is a scheduler knob", ErrConflictingParams))
+		}
+		validateSim(t.Sim, path+".sim", fail)
+		if t.Codec != nil {
+			validateCodec(t.Codec, path+".codec", fail)
+		}
+		if len(t.Analyses) == 0 {
+			fail(path+".analyses", ErrNoAnalyses)
+		}
+		for ai := range t.Analyses {
+			a := &t.Analyses[ai]
+			apath := fmt.Sprintf("%s.analyses[%d]", path, ai)
+			p := a.Params
+			if p.Placement == "" {
+				p.Placement = t.Placement
+			}
+			if p.Placement == "" {
+				p.Placement = DefaultPlacement(a.Analysis)
+			}
+			if err := Check(a.Analysis, p); err != nil {
+				fail(apath, err)
+				continue
+			}
+			if !hasTransit && p.Placement != PlaceInSitu {
+				fail(apath, fmt.Errorf("%w: %q placed %q but fabric.buckets is 0", ErrNoTransitFabric, a.Analysis, p.Placement))
+			}
+			if a.Codec != nil {
+				validateCodec(a.Codec, apath+".codec", fail)
+			}
+		}
+	}
+
+	if c.Faults != nil {
+		for si, s := range c.Faults.Slowdowns {
+			spath := fmt.Sprintf("faults.slowdowns[%d]", si)
+			if s.Until < s.From || s.From < 0 {
+				fail(spath, fmt.Errorf("%w: bad window [%d, %d)", ErrBadParam, s.From, s.Until))
+			}
+			if s.Factor < 0 {
+				fail(spath+".factor", fmt.Errorf("%w: negative factor %v", ErrBadParam, s.Factor))
+			}
+			if s.Tenant != "" {
+				if !multi {
+					fail(spath+".tenant", fmt.Errorf("%w: tenant-scoped slowdown in a single-tenant config", ErrConflictingParams))
+				} else if !seen[s.Tenant] {
+					fail(spath+".tenant", fmt.Errorf("%w: unknown tenant %q", ErrBadParam, s.Tenant))
+				}
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+// TransitBuckets resolves the fabric's bucket count: omitted = the
+// repo default of 4, explicit values (including 0) stand.
+func (c *Config) TransitBuckets() int {
+	if c.Fabric.Buckets == nil {
+		return 4
+	}
+	return *c.Fabric.Buckets
+}
+
+// validateSim checks the required simulation dimensions.
+func validateSim(s SimConfig, path string, fail func(string, error)) {
+	dims := []struct {
+		name string
+		v    int
+	}{
+		{"nx", s.NX}, {"ny", s.NY}, {"nz", s.NZ},
+		{"px", s.PX}, {"py", s.PY}, {"pz", s.PZ},
+	}
+	for _, d := range dims {
+		if d.v < 1 {
+			fail(path+"."+d.name, fmt.Errorf("%w: %s must be >= 1 (got %d)", ErrBadParam, d.name, d.v))
+		}
+	}
+	if s.SubSteps < 0 {
+		fail(path+".sub_steps", fmt.Errorf("%w: negative sub_steps", ErrBadParam))
+	}
+}
+
+// validateCodec checks a codec selection and its knob pairing.
+func validateCodec(cc *CodecConfig, path string, fail func(string, error)) {
+	switch cc.ID {
+	case "identity", "delta", "quantize", "subsample":
+	default:
+		fail(path+".id", fmt.Errorf("%w: unknown codec %q (known: identity, delta, quantize, subsample)", ErrBadParam, cc.ID))
+		return
+	}
+	if cc.MaxError != 0 && cc.ID != "quantize" {
+		fail(path+".max_error", fmt.Errorf("%w: max_error applies only to quantize", ErrConflictingParams))
+	}
+	if cc.MaxError < 0 {
+		fail(path+".max_error", fmt.Errorf("%w: negative max_error %v", ErrBadParam, cc.MaxError))
+	}
+	if cc.Stride != 0 && cc.ID != "subsample" {
+		fail(path+".stride", fmt.Errorf("%w: stride applies only to subsample", ErrConflictingParams))
+	}
+	if cc.Stride < 0 {
+		fail(path+".stride", fmt.Errorf("%w: negative stride %d", ErrBadParam, cc.Stride))
+	}
+}
+
+// codecSpec converts a validated CodecConfig to the core codec spec.
+func codecSpec(cc *CodecConfig) codec.Spec {
+	var id codec.ID
+	switch cc.ID {
+	case "identity":
+		id = codec.Identity
+	case "delta":
+		id = codec.Delta
+	case "quantize":
+		id = codec.Quantize
+	case "subsample":
+		id = codec.Subsample
+	}
+	return codec.Spec{ID: id, MaxError: cc.MaxError, Stride: cc.Stride}
+}
+
+// netConfig converts a validated NetConfig to the netsim config.
+func netConfig(nc NetConfig) netsim.Config {
+	var n netsim.Config
+	if nc.Profile == "gemini" {
+		n = netsim.Gemini()
+	}
+	n.TimeScale = nc.TimeScale
+	return n
+}
+
+// overloadConfig converts a validated OverloadConfig to the overload
+// plane's config.
+func overloadConfig(oc *OverloadConfig) *overload.Config {
+	if oc == nil {
+		return nil
+	}
+	us := func(v int) time.Duration { return time.Duration(v) * time.Microsecond }
+	return &overload.Config{
+		Breaker: overload.BreakerConfig{
+			FailureThreshold: oc.Breaker.FailureThreshold,
+			LatencyThreshold: us(oc.Breaker.LatencyThresholdUS),
+			LatencyAlpha:     oc.Breaker.LatencyAlpha,
+			Cooldown:         us(oc.Breaker.CooldownUS),
+		},
+		Ladder: overload.LadderConfig{
+			QueueHigh:    oc.Ladder.QueueHigh,
+			QueueLow:     oc.Ladder.QueueLow,
+			LatencyHigh:  us(oc.Ladder.LatencyHighUS),
+			LatencyLow:   us(oc.Ladder.LatencyLowUS),
+			DegradeAfter: oc.Ladder.DegradeAfter,
+			RecoverAfter: oc.Ladder.RecoverAfter,
+		},
+		QueueBound:      oc.QueueBound,
+		Reserve:         oc.Reserve,
+		Credits:         oc.Credits,
+		ProbeLatencyMax: us(oc.ProbeLatencyMaxUS),
+		LatencyAlpha:    oc.LatencyAlpha,
+		QueueAlpha:      oc.QueueAlpha,
+	}
+}

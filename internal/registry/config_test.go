@@ -1,0 +1,294 @@
+package registry_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"insitu/internal/registry"
+)
+
+// TestParseConfigMalformed is the malformed-config table: every way a
+// declarative pipeline can be wrong maps to one typed sentinel error,
+// matchable with errors.Is through the ValidationError wrapping.
+func TestParseConfigMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{
+			name: "unknown analysis",
+			src: `{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "warp-drive", "placement": "hybrid"}]}]}`,
+			want: registry.ErrUnknownAnalysis,
+		},
+		{
+			name: "duplicate tenant",
+			src: `{"tenants": [
+				{"name": "alpha", "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				 "analyses": [{"analysis": "stats", "placement": "hybrid"}]},
+				{"name": "alpha", "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				 "analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrDuplicateTenant,
+		},
+		{
+			name: "hybrid analysis without transit fabric",
+			src: `{"fabric": {"buckets": 0},
+				"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrNoTransitFabric,
+		},
+		{
+			name: "negative shaping factor",
+			src: `{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "viz", "placement": "hybrid", "factor": -2}]}]}`,
+			want: registry.ErrBadParam,
+		},
+		{
+			name: "param the placement does not consume",
+			src: `{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "viz", "placement": "in-situ", "factor": 2}]}]}`,
+			want: registry.ErrConflictingParams,
+		},
+		{
+			name: "bad placement",
+			src: `{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "viz", "placement": "sideways"}]}]}`,
+			want: registry.ErrBadPlacement,
+		},
+		{
+			name: "omitted placement where the analysis supports several",
+			src: `{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "viz"}]}]}`,
+			want: registry.ErrBadPlacement,
+		},
+		{
+			name: "scheduler knob in single-tenant config",
+			src: `{"fabric": {"autoscale": {"min": 2, "max": 4}},
+				"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrConflictingParams,
+		},
+		{
+			name: "weight in single-tenant config",
+			src: `{"tenants": [{"weight": 2, "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrConflictingParams,
+		},
+		{
+			name: "recovery in multi-tenant config",
+			src: `{"recovery": {"dir": "out/j"},
+				"tenants": [
+				{"name": "a", "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				 "analyses": [{"analysis": "stats", "placement": "hybrid"}]},
+				{"name": "b", "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				 "analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrConflictingParams,
+		},
+		{
+			name: "no tenants",
+			src:  `{"tenants": []}`,
+			want: registry.ErrNoTenants,
+		},
+		{
+			name: "tenant with no analyses",
+			src: `{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": []}]}`,
+			want: registry.ErrNoAnalyses,
+		},
+		{
+			name: "unknown codec",
+			src: `{"tenants": [{"codec": {"id": "gzip"},
+				"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrBadParam,
+		},
+		{
+			name: "codec knob on the wrong codec",
+			src: `{"tenants": [{"codec": {"id": "delta", "max_error": 0.5},
+				"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrConflictingParams,
+		},
+		{
+			name: "zero sim dimension",
+			src: `{"tenants": [{"sim": {"nx": 8, "ny": 0, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrBadParam,
+		},
+		{
+			name: "slowdown scoped to unknown tenant",
+			src: `{"faults": {"slowdowns": [{"from": 1, "until": 5, "tenant": "ghost", "factor": 10}]},
+				"tenants": [
+				{"name": "a", "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				 "analyses": [{"analysis": "stats", "placement": "hybrid"}]},
+				{"name": "b", "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				 "analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrBadParam,
+		},
+		{
+			name: "tenant-scoped slowdown in single-tenant config",
+			src: `{"faults": {"slowdowns": [{"from": 1, "until": 5, "tenant": "a", "factor": 10}]},
+				"tenants": [{"name": "a", "sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+				"analyses": [{"analysis": "stats", "placement": "hybrid"}]}]}`,
+			want: registry.ErrConflictingParams,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := registry.ParseConfig([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("ParseConfig accepted a malformed config: %+v", cfg)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want errors.Is %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseConfigStrictKeys: a typo'd knob must fail decoding, never
+// silently validate.
+func TestParseConfigStrictKeys(t *testing.T) {
+	_, err := registry.ParseConfig([]byte(
+		`{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+			"analyses": [{"analysis": "stats", "placement": "hybrid", "evrey": 2}]}]}`))
+	if err == nil {
+		t.Fatal("ParseConfig accepted an unknown key")
+	}
+	if !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("error = %v, want an unknown-field decode error", err)
+	}
+}
+
+// TestValidationErrorPaths: every failure names the config path that
+// produced it, and the wrapper exposes the typed error to errors.As.
+func TestValidationErrorPaths(t *testing.T) {
+	_, err := registry.ParseConfig([]byte(
+		`{"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+			"analyses": [
+				{"analysis": "stats", "placement": "hybrid"},
+				{"analysis": "warp-drive", "placement": "hybrid"}]}]}`))
+	if err == nil {
+		t.Fatal("expected a validation error")
+	}
+	var verr *registry.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error %v does not wrap a *ValidationError", err)
+	}
+	if !strings.Contains(verr.Path, "analyses[1]") {
+		t.Errorf("ValidationError.Path = %q, want it to locate analyses[1]", verr.Path)
+	}
+	if !errors.Is(verr, registry.ErrUnknownAnalysis) {
+		t.Errorf("ValidationError does not unwrap to ErrUnknownAnalysis: %v", verr)
+	}
+}
+
+// TestValidateJoinsAllErrors: validation reports every problem at
+// once, not just the first.
+func TestValidateJoinsAllErrors(t *testing.T) {
+	_, err := registry.ParseConfig([]byte(
+		`{"fabric": {"credits": 8},
+			"tenants": [{"sim": {"nx": 8, "ny": 8, "nz": 8, "px": 1, "py": 1, "pz": 1},
+			"analyses": [
+				{"analysis": "warp-drive", "placement": "hybrid"},
+				{"analysis": "viz", "placement": "hybrid", "factor": -1}]}]}`))
+	if err == nil {
+		t.Fatal("expected validation errors")
+	}
+	for _, want := range []error{
+		registry.ErrConflictingParams, // scheduler credits in a single-tenant config
+		registry.ErrUnknownAnalysis,
+		registry.ErrBadParam, // negative shaping factor
+	} {
+		if !errors.Is(err, want) {
+			t.Errorf("joined error does not include %v:\n%v", want, err)
+		}
+	}
+}
+
+// validatePurityConfig is a config touching every validated subtree:
+// fabric, autoscale, quarantine, codecs, analyses, faults.
+func validatePurityConfig() *registry.Config {
+	buckets := 2
+	return &registry.Config{
+		Name:  "purity",
+		Steps: 10,
+		Fabric: registry.FabricConfig{
+			DSServers:     2,
+			Buckets:       &buckets,
+			MaxBuckets:    4,
+			Net:           registry.NetConfig{Profile: "gemini", TimeScale: 0.1},
+			QueueBound:    4,
+			TenantReserve: 2,
+			Autoscale:     &registry.AutoscaleConfig{Min: 2, Max: 4},
+			Quarantine:    &registry.QuarantineConfig{Strikes: 2, ProbeAfter: 2},
+		},
+		Tenants: []registry.TenantConfig{
+			{
+				Name: "alpha",
+				Sim:  registry.SimConfig{NX: 8, NY: 8, NZ: 8, PX: 1, PY: 1, PZ: 1},
+				Codec: &registry.CodecConfig{
+					ID: "quantize", MaxError: 0.01,
+				},
+				Analyses: []registry.AnalysisConfig{
+					{Analysis: "viz", Params: registry.Params{
+						Placement: registry.PlaceHybrid, Factor: 4,
+					}},
+				},
+			},
+			{
+				Name:      "beta",
+				Sim:       registry.SimConfig{NX: 8, NY: 8, NZ: 8, PX: 1, PY: 1, PZ: 1},
+				Placement: registry.PlaceHybrid,
+				Analyses: []registry.AnalysisConfig{
+					{Analysis: "stats", Params: registry.Params{Vars: []string{"T"}}},
+				},
+			},
+		},
+		Faults: &registry.FaultsConfig{
+			Seed: 7,
+			Slowdowns: []registry.SlowdownConfig{
+				{From: 2, Until: 6, Tenant: "beta", Factor: 100},
+			},
+		},
+	}
+}
+
+// TestValidatePure: Validate fills no defaults and mutates nothing —
+// the same Config marshals byte-identically before and after, for
+// valid and invalid configs alike, and repeated validation is stable.
+func TestValidatePure(t *testing.T) {
+	check := func(name string, cfg *registry.Config, wantErr bool) {
+		t.Helper()
+		before, err := cfg.Marshal()
+		if err != nil {
+			t.Fatalf("%s: marshal before: %v", name, err)
+		}
+		err1 := cfg.Validate()
+		err2 := cfg.Validate()
+		if (err1 != nil) != wantErr {
+			t.Fatalf("%s: Validate() = %v, wantErr %v", name, err1, wantErr)
+		}
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: repeated Validate disagrees: %v vs %v", name, err1, err2)
+		}
+		after, err := cfg.Marshal()
+		if err != nil {
+			t.Fatalf("%s: marshal after: %v", name, err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Errorf("%s: Validate mutated the config:\nbefore:\n%s\nafter:\n%s",
+				name, before, after)
+		}
+	}
+
+	check("valid", validatePurityConfig(), false)
+
+	bad := validatePurityConfig()
+	bad.Tenants[0].Analyses[0].Factor = -1
+	bad.Tenants[1].Name = "alpha"
+	check("invalid", bad, true)
+}

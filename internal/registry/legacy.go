@@ -1,0 +1,137 @@
+package registry
+
+import "fmt"
+
+// LegacyOptions mirrors s3dpipe's original ad-hoc scenario flags. The
+// launcher folds its flag values into this struct and converts them to
+// a declarative Config with Config(), so the legacy flag path and the
+// -config path construct pipelines through the identical Build code —
+// existing CI gates stay byte-identical by construction.
+type LegacyOptions struct {
+	// NX/NY/NZ and PX/PY/PZ size the grid and its decomposition.
+	NX, NY, NZ int
+	PX, PY, PZ int
+	// Steps is the run length; Every the analysis cadence; SubSteps
+	// the solver sub-iterations per step.
+	Steps, Every, SubSteps int
+	// Buckets and Servers size the transit tier.
+	Buckets, Servers int
+	// StatsMode and VizMode are off|insitu|hybrid|both.
+	StatsMode, VizMode string
+	// Topology enables the merge-tree analysis; TopologyStreaming
+	// selects the streaming in-transit variant; TopologyWorkers > 1
+	// the parallel glue.
+	Topology          bool
+	TopologyStreaming bool
+	TopologyWorkers   int
+	// FeatureStats/AutoCorr/Contingency/Assess/Tracking toggle the
+	// remaining analyses.
+	FeatureStats, AutoCorr, Contingency, Assess, Tracking bool
+	// Factor is the hybrid viz down-sampling factor.
+	Factor int
+	// Cameras > 1 renders viz steps from an orbit of N directions.
+	Cameras int
+	// Seed is the simulation seed.
+	Seed int64
+	// Journal enables recovery under this directory, checkpointing
+	// every CkptEvery steps.
+	Journal   string
+	CkptEvery int
+	// StoreDir enables the Cinema-style image store.
+	StoreDir string
+}
+
+// Config converts the legacy flag values into the equivalent
+// declarative pipeline config, preserving the original registration
+// order (stats in-situ, stats hybrid, viz in-situ, viz hybrid,
+// topology, featurestats, autocorr, contingency, assess, tracking)
+// and parameter values exactly.
+func (o LegacyOptions) Config() (*Config, error) {
+	t := TenantConfig{
+		Sim: SimConfig{
+			NX: o.NX, NY: o.NY, NZ: o.NZ,
+			PX: o.PX, PY: o.PY, PZ: o.PZ,
+			SubSteps: o.SubSteps,
+			Seed:     o.Seed,
+		},
+	}
+	add := func(name string, p Params) {
+		p.Every = o.Every
+		t.Analyses = append(t.Analyses, AnalysisConfig{Analysis: name, Params: p})
+	}
+
+	switch o.StatsMode {
+	case "insitu":
+		add("stats", Params{Placement: PlaceInSitu})
+	case "hybrid":
+		add("stats", Params{Placement: PlaceHybrid})
+	case "both":
+		add("stats", Params{Placement: PlaceInSitu})
+		add("stats", Params{Placement: PlaceHybrid})
+	case "off", "":
+	default:
+		return nil, fmt.Errorf("unknown -stats mode %q", o.StatsMode)
+	}
+
+	cams := 0
+	if o.Cameras > 1 {
+		cams = o.Cameras
+	}
+	switch o.VizMode {
+	case "insitu":
+		add("viz", Params{Placement: PlaceInSitu, Width: 320, Height: 240, Cameras: cams})
+	case "hybrid":
+		add("viz", Params{Placement: PlaceHybrid, Width: 320, Height: 240, Factor: o.Factor, Cameras: cams})
+	case "both":
+		add("viz", Params{Placement: PlaceInSitu, Width: 320, Height: 240, Cameras: cams})
+		add("viz", Params{Placement: PlaceHybrid, Width: 320, Height: 240, Factor: o.Factor, Cameras: cams})
+	case "off", "":
+	default:
+		return nil, fmt.Errorf("unknown -viz mode %q", o.VizMode)
+	}
+
+	if o.Topology {
+		if o.TopologyStreaming {
+			add("topology", Params{Placement: PlaceInTransit, SimplifyEps: 0.05, FeatureThreshold: 1.0})
+		} else {
+			add("topology", Params{Placement: PlaceHybrid, SimplifyEps: 0.05, FeatureThreshold: 1.0, Workers: o.TopologyWorkers})
+		}
+	}
+	if o.FeatureStats {
+		add("featurestats", Params{Placement: PlaceHybrid, Threshold: 1.0})
+	}
+	if o.AutoCorr {
+		add("autocorr", Params{Placement: PlaceHybrid})
+	}
+	if o.Contingency {
+		add("contingency", Params{Placement: PlaceHybrid})
+	}
+	if o.Assess {
+		add("assess", Params{Placement: PlaceInSitu})
+	}
+	if o.Tracking {
+		add("tracking", Params{Placement: PlaceHybrid, Threshold: 0.05})
+	}
+
+	buckets := o.Buckets
+	cfg := &Config{
+		Name:  "legacy",
+		Steps: o.Steps,
+		Fabric: FabricConfig{
+			DSServers: o.Servers,
+			Buckets:   &buckets,
+			Net:       NetConfig{Profile: "gemini"},
+		},
+		Tenants: []TenantConfig{t},
+	}
+	if o.Journal != "" {
+		cfg.Recovery = &RecoveryConfig{Dir: o.Journal, EverySteps: o.CkptEvery}
+	}
+	if o.StoreDir != "" {
+		cfg.Store = &StoreConfig{Dir: o.StoreDir}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}

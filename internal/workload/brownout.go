@@ -1,14 +1,8 @@
 package workload
 
 import (
-	"time"
-
 	"insitu/internal/core"
-	"insitu/internal/faults"
-	"insitu/internal/grid"
-	"insitu/internal/netsim"
-	"insitu/internal/overload"
-	"insitu/internal/sim"
+	"insitu/internal/registry"
 )
 
 // The brownout scenario is the overload-control soak: a fixed-seed
@@ -55,63 +49,15 @@ const (
 // whose per-step wall times are the soak's baseline.
 //
 // The second return value lists the hybrid route names.
+//
+// Since the registry refactor this is a thin wrapper over
+// registry.Build(BrownoutConfig(brownout)): the tuning rationale lives
+// with the config in configs.go, and the soak exercises the same
+// construction path as `s3dpipe -config examples/configs/brownout.json`.
 func NewBrownoutPipeline(brownout bool) (*core.Pipeline, []string, error) {
-	simCfg := sim.DefaultConfig(grid.NewBox(24, 16, 8), 2, 1, 1)
-	simCfg.SubSteps = 4
-
-	net := netsim.Gemini()
-	net.TimeScale = BrownoutTimeScale
-
-	cfg := core.Config{
-		Sim:       simCfg,
-		DSServers: 2,
-		Buckets:   2,
-		Net:       net,
-		// A generous per-task data-movement deadline: browned-out pulls
-		// are slow, not lost, and must still drain the backlog.
-		StepBudget: 500 * time.Millisecond,
-		Overload: &overload.Config{
-			Breaker: overload.BreakerConfig{
-				FailureThreshold: 3,
-				// Two browned-out task completions push the success-latency
-				// EWMA over the threshold and trip the route open.
-				LatencyThreshold: 5 * time.Millisecond,
-				LatencyAlpha:     0.5,
-				// Short cooldown relative to the step cadence, so the
-				// half-open probe runs nearly every step while open.
-				Cooldown: 2 * time.Millisecond,
-			},
-			Ladder: overload.LadderConfig{
-				QueueHigh: 3, QueueLow: 1,
-				// Latency watermarks stay disabled: the latency EWMA only
-				// moves when tasks complete, so a shedding route would pin
-				// it high and never observe recovery. Breaker state,
-				// credit availability and queue depth are live signals.
-				DegradeAfter: 1, RecoverAfter: 2,
-			},
-			QueueBound: 4,
-			// The probe verdict compares the *modeled* probe duration:
-			// healthy ~1.5us, browned-out ~400x that. 50us separates them
-			// deterministically, independent of scheduler noise.
-			ProbeLatencyMax: 50 * time.Microsecond,
-		},
-	}
-	p, err := core.NewPipeline(cfg)
+	b, err := registry.Build(BrownoutConfig(brownout))
 	if err != nil {
 		return nil, nil, err
 	}
-	if brownout {
-		p.Network().SetFaults(faults.New(faults.Config{
-			Seed: BrownoutSeed,
-			Slowdowns: []faults.SlowdownWindow{
-				{From: BrownoutFrom, Until: BrownoutUntil, Factor: BrownoutFactor},
-			},
-		}))
-	}
-
-	viz := core.NewVizHybrid(20, 16, 2)
-	stats := &core.StatsHybrid{Vars: []string{"T", "P"}}
-	p.Register(viz)
-	p.Register(stats)
-	return p, []string{viz.Name(), stats.Name()}, nil
+	return b.Pipeline, b.Tenants[0].Routes, nil
 }

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insitu/internal/registry"
+)
+
+// configsDir is the checked-in example-config directory, relative to
+// this package (tests run in the package directory).
+const configsDir = "../../examples/configs"
+
+// TestExampleConfigsLoad: every checked-in example must strictly
+// decode and validate — the same gate `make configs` runs in CI.
+func TestExampleConfigsLoad(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(configsDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no example configs under %s", configsDir)
+	}
+	for _, path := range paths {
+		if _, err := registry.LoadConfig(path); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}
+
+// pinned asserts a checked-in example file is byte-identical to its
+// code-generated source config. This is what makes the examples
+// executable documentation: drift in either direction fails CI, and
+// (for the scenario configs) it proves the -config path loads the
+// exact pipeline the flag path builds.
+func pinned(t *testing.T, file string, cfg *registry.Config) {
+	t.Helper()
+	want, err := cfg.Marshal()
+	if err != nil {
+		t.Fatalf("%s: marshal source config: %v", file, err)
+	}
+	got, err := os.ReadFile(filepath.Join(configsDir, file))
+	if err != nil {
+		t.Fatalf("%s: %v", file, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its code-generated source config.\nRegenerate it from Config.Marshal().\n--- file ---\n%s--- source ---\n%s",
+			file, got, want)
+	}
+}
+
+func TestTenantsExamplePinned(t *testing.T) {
+	pinned(t, "tenants.json", TenantsConfig(true))
+}
+
+func TestBrownoutExamplePinned(t *testing.T) {
+	pinned(t, "brownout.json", BrownoutConfig(true))
+}
+
+func TestStoreServeExamplePinned(t *testing.T) {
+	cfg, err := registry.LegacyOptions{
+		NX: 32, NY: 24, NZ: 8, PX: 2, PY: 2, PZ: 1,
+		Steps: 6, Every: 1, SubSteps: 1,
+		Buckets: 2, Servers: 2,
+		StatsMode: "off", VizMode: "hybrid",
+		Factor: 4, Cameras: 4, Seed: 1,
+		StoreDir: "out/s3d-store",
+	}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Name = "store-serve"
+	cfg.Store.Serve = ":8080"
+	pinned(t, "store-serve.json", cfg)
+}
+
+func TestRecoveryExamplePinned(t *testing.T) {
+	cfg, err := registry.LegacyOptions{
+		NX: 32, NY: 24, NZ: 8, PX: 2, PY: 2, PZ: 1,
+		Steps: 8, Every: 1, SubSteps: 1,
+		Buckets: 2, Servers: 2,
+		StatsMode: "hybrid", VizMode: "off",
+		Topology: true, Seed: 1,
+		Journal: "out/s3d-journal", CkptEvery: 4,
+	}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Name = "recovery"
+	pinned(t, "recovery.json", cfg)
+}
+
+// TestScenarioConfigsRoundTrip: the scenario configs survive a
+// marshal/parse round trip unchanged — what guarantees a user can dump
+// them, edit, and reload without surprises.
+func TestScenarioConfigsRoundTrip(t *testing.T) {
+	for _, cfg := range []*registry.Config{
+		TenantsConfig(true), TenantsConfig(false),
+		BrownoutConfig(true), BrownoutConfig(false),
+	} {
+		data, err := cfg.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		back, err := registry.ParseConfig(data)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", cfg.Name, err)
+		}
+		data2, err := back.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Errorf("%s does not round-trip:\n%s\nvs\n%s", cfg.Name, data, data2)
+		}
+	}
+}

@@ -3,14 +3,9 @@ package workload
 import (
 	"errors"
 	"sync/atomic"
-	"time"
 
 	"insitu/internal/core"
-	"insitu/internal/faults"
-	"insitu/internal/grid"
-	"insitu/internal/netsim"
-	"insitu/internal/overload"
-	"insitu/internal/sim"
+	"insitu/internal/registry"
 )
 
 // The tenants scenario is the multi-tenant staging-fabric soak: three
@@ -87,27 +82,6 @@ func (p *poisonAnalysis) InTransit(step int, payloads [][]byte) (any, error) {
 	return step, nil
 }
 
-// tenantOverload is the per-tenant admission plane for the soak — the
-// brownout tuning, reused: latency-sensitive breakers, a fast ladder,
-// and a modeled-duration probe verdict that separates healthy from
-// browned-out deterministically.
-func tenantOverload() *overload.Config {
-	return &overload.Config{
-		Breaker: overload.BreakerConfig{
-			FailureThreshold: 3,
-			LatencyThreshold: 5 * time.Millisecond,
-			LatencyAlpha:     0.5,
-			Cooldown:         2 * time.Millisecond,
-		},
-		Ladder: overload.LadderConfig{
-			QueueHigh: 3, QueueLow: 1,
-			DegradeAfter: 1, RecoverAfter: 2,
-		},
-		QueueBound:      4,
-		ProbeLatencyMax: 50 * time.Microsecond,
-	}
-}
-
 // NewTenantScheduler builds the multi-tenant soak: victims alpha and
 // beta run the two healthy hybrid routes (visualization + statistics)
 // and the gamma tenant runs visualization plus the poison route, all
@@ -122,81 +96,17 @@ func tenantOverload() *overload.Config {
 // co-tenancy, which the bulkheads do not (and cannot) remove.
 //
 // The second return value lists the victims' hybrid route names.
+//
+// Since the registry refactor this is a thin wrapper over
+// registry.Build(TenantsConfig(noisy)): the fabric tuning lives with
+// the config in configs.go, the slowdown window is scoped to gamma's
+// rank endpoints by the registry's tenant-resolved fault install, and
+// the soak exercises the same construction path as
+// `s3dpipe -config examples/configs/tenants.json`.
 func NewTenantScheduler(noisy bool) (*core.Scheduler, []string, error) {
-	net := netsim.Gemini()
-	net.TimeScale = TenantTimeScale
-
-	s, err := core.NewScheduler(core.SchedulerConfig{
-		DSServers:     2,
-		Buckets:       2,
-		MaxBuckets:    4,
-		Net:           net,
-		QueueBound:    4,
-		TenantReserve: 2,
-		Autoscale: &overload.AutoscaleConfig{
-			Min: 2, Max: 4,
-			QueueHighPerBucket: 2,
-			GrowAfter:          2,
-			ShrinkAfter:        3,
-		},
-		Quarantine: overload.QuarantineConfig{Strikes: TenantPoisonFails, ProbeAfter: 2},
-	})
+	b, err := registry.Build(TenantsConfig(noisy))
 	if err != nil {
 		return nil, nil, err
 	}
-
-	simCfg := sim.DefaultConfig(grid.NewBox(24, 16, 8), 2, 1, 1)
-	simCfg.SubSteps = 4
-
-	var routes []string
-	for _, name := range TenantVictims {
-		p, err := s.AddTenant(name, core.TenantConfig{
-			Sim:        simCfg,
-			Overload:   tenantOverload(),
-			StepBudget: 500 * time.Millisecond,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		viz := core.NewVizHybrid(20, 16, 2)
-		stats := &core.StatsHybrid{Vars: []string{"T", "P"}}
-		p.Register(viz)
-		p.Register(stats)
-		if routes == nil {
-			routes = []string{viz.Name(), stats.Name()}
-		}
-	}
-
-	p, err := s.AddTenant(TenantNoisy, core.TenantConfig{
-		Sim:        simCfg,
-		Overload:   tenantOverload(),
-		StepBudget: 500 * time.Millisecond,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	p.Register(core.NewVizHybrid(20, 16, 2))
-	fails := int64(0)
-	if noisy {
-		fails = TenantPoisonFails
-	}
-	p.Register(&poisonAnalysis{FailAttempts: fails})
-	if !noisy {
-		return s, routes, nil
-	}
-
-	// The slowdown is scoped to gamma's rank endpoints: every staging
-	// pull of a gamma payload crawls, while victim transfers stay
-	// healthy — the noise is all gamma's, and so is the attribution.
-	var noisyEps []int
-	for _, ep := range s.TenantEndpoints(TenantNoisy) {
-		noisyEps = append(noisyEps, ep.ID())
-	}
-	s.Network().SetFaults(faults.New(faults.Config{
-		Seed: TenantSeed,
-		Slowdowns: []faults.SlowdownWindow{
-			{From: TenantSlowFrom, Until: TenantSlowUntil, Endpoints: noisyEps, Factor: TenantSlowFactor},
-		},
-	}))
-	return s, routes, nil
+	return b.Scheduler, b.Tenants[0].Routes, nil
 }
